@@ -1,0 +1,40 @@
+# eMPTCP reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build test short bench experiments traces fmt vet cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick iteration: skips the full-size regression experiments.
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (the EXPERIMENTS.md inputs).
+experiments:
+	$(GO) run ./cmd/emptcpsim all
+
+traces:
+	$(GO) run ./cmd/tracegen -scenario mobility > mobility.tsv
+	$(GO) run ./cmd/tracegen -scenario random > random.tsv
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -f mobility.tsv random.tsv test_output.txt bench_output.txt

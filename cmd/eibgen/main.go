@@ -1,0 +1,95 @@
+// Command eibgen generates and prints a device's Energy Information Base
+// (the paper's Table 2), the Figure 3 relative-efficiency heat map, and
+// the Figure 4 finite-transfer operating regions. With -save it also
+// writes the table as JSON — the on-device artifact the paper's phones
+// would carry.
+//
+// Usage:
+//
+//	eibgen [-device s3|n5] [-lte-max Mbps] [-step Mbps] [-save file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/eib"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against the given argument list and streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("eibgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "s3", "device profile: s3 or n5")
+	lteMax := fs.Float64("lte-max", 12, "largest LTE throughput row (Mbps)")
+	step := fs.Float64("step", 0.5, "LTE grid step (Mbps)")
+	saveTo := fs.String("save", "", "also write the generated table as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var d *energy.DeviceProfile
+	switch *device {
+	case "s3":
+		d = energy.GalaxyS3()
+	case "n5":
+		d = energy.Nexus5()
+	default:
+		fmt.Fprintf(stderr, "unknown device %q\n", *device)
+		return 2
+	}
+
+	cfg := eib.DefaultConfig()
+	cfg.LTEGridMax = units.MbpsRate(*lteMax)
+	cfg.LTEGridStep = units.MbpsRate(*step)
+	table := eib.Generate(d, cfg)
+	fmt.Fprint(stdout, table.String())
+	if *saveTo != "" {
+		f, err := os.Create(*saveTo)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := table.Save(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nsaved to %s\n", *saveTo)
+	}
+
+	fmt.Fprintln(stdout)
+	h := eib.RelativeEfficiencyHeatmap(d, units.MbpsRate(10), units.MbpsRate(10), 32)
+	fmt.Fprint(stdout, report.HeatmapASCII(h.Rel,
+		func(i int) string { return fmt.Sprintf("%4.1f Mb", h.LTE[i].Mbit()) },
+		"Figure 3 — LTE (rows) × WiFi 0→10 Mbps (cols); darker = both interfaces more efficient"))
+	fmt.Fprintf(stdout, "\nfraction of grid where MPTCP is most efficient: %.1f%%\n\n",
+		h.MPTCPBestFraction()*100)
+
+	for _, size := range []units.ByteSize{units.MB, 4 * units.MB, 16 * units.MB} {
+		r := eib.OperatingRegion(d, size, units.MbpsRate(6), units.MbpsRate(12), 12)
+		fmt.Fprintf(stdout, "Figure 4 — %v transfer: MPTCP-best LTE ranges per WiFi rate\n", size)
+		for i := range r.WiFi {
+			if r.LTEMin[i] != r.LTEMin[i] {
+				fmt.Fprintf(stdout, "  WiFi %5.2f Mbps: —\n", r.WiFi[i].Mbit())
+			} else {
+				fmt.Fprintf(stdout, "  WiFi %5.2f Mbps: LTE in [%.1f, %.1f] Mbps\n",
+					r.WiFi[i].Mbit(), r.LTEMin[i], r.LTEMax[i])
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/eib"
+)
+
+func TestGenerateAndPrint(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-lte-max", "4", "-step", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"Energy Information Base", "Galaxy S3", "Figure 3", "Figure 4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSaveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eib.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-lte-max", "4", "-step", "1", "-save", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	table, err := eib.Load(f)
+	if err != nil {
+		t.Fatalf("saved table does not load: %v", err)
+	}
+	if len(table.Entries) != 4 {
+		t.Errorf("loaded %d entries, want 4", len(table.Entries))
+	}
+}
+
+func TestBadDevice(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-device", "pixel"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestSaveToBadPath(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-save", "/nonexistent-dir/x.json"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}

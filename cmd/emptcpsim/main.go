@@ -1,0 +1,84 @@
+// Command emptcpsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [experiment ...]
+//
+// With no arguments it lists the available experiments. Pass experiment
+// ids ("fig5", "table2", ...) or "all" to run everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/exp"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against the given argument list and streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("emptcpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "s3", "device profile: s3 (Galaxy S3) or n5 (Nexus 5)")
+	seed := fs.Int64("seed", 0, "base seed for all runs")
+	quickMode := fs.Bool("quick", false, "shrink transfer sizes and repetition counts (~10x faster)")
+	csvMode := fs.Bool("csv", false, "emit result tables as CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode}
+	switch *device {
+	case "s3":
+		cfg.Device = energy.GalaxyS3()
+	case "n5":
+		cfg.Device = energy.Nexus5()
+	default:
+		fmt.Fprintf(stderr, "unknown device %q (want s3 or n5)\n", *device)
+		return 2
+	}
+
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stdout, "available experiments:")
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "  %-14s %s\n", e.ID, e.Title)
+		}
+		fmt.Fprintln(stdout, "\nrun with: emptcpsim [flags] <id>... | all")
+		return 0
+	}
+
+	var ids []string
+	if len(rest) == 1 && rest[0] == "all" {
+		ids = exp.IDs()
+	} else {
+		ids = rest
+	}
+
+	for _, id := range ids {
+		e := exp.ByID(id)
+		if e == nil {
+			fmt.Fprintf(stderr, "unknown experiment %q; run without arguments for the list\n", id)
+			return 2
+		}
+		fmt.Fprintf(stdout, "=== %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "paper: %s\n\n", e.Paper)
+		start := time.Now()
+		out := e.Run(cfg)
+		if *csvMode {
+			fmt.Fprint(stdout, out.CSV())
+		} else {
+			fmt.Fprint(stdout, out.String())
+		}
+		fmt.Fprintf(stdout, "(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

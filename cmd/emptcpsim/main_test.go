@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListExperiments(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"fig1", "fig17", "ext-streaming", "available experiments"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "fig1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 1") || !strings.Contains(out.String(), "Samsung Galaxy S3") {
+		t.Errorf("fig1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-csv", "fig1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "Device,WiFi,3G,LTE") {
+		t.Errorf("CSV output wrong:\n%s", out.String())
+	}
+}
+
+func TestNexus5Device(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-device", "n5", "-quick", "table2"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "Energy Information Base") {
+		t.Error("table2 output missing")
+	}
+}
+
+func TestBadDevice(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-device", "iphone"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown device") {
+		t.Error("missing error message")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"fig99"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "all"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	// Every registered experiment must have produced a section.
+	for _, id := range []string{"=== fig5", "=== fig16", "=== ext-sweep", "=== fig11"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("all-run missing %q", id)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Command tracegen emits per-run time series as TSV for external
+// plotting: the accumulated-energy and throughput traces of the paper's
+// Figures 7, 9 and 12.
+//
+// Usage:
+//
+//	tracegen [-device s3|n5] [-seed N] [-size MB] -scenario random|background|mobility|multiap [-proto all|mptcp|emptcp|tcpwifi]
+//
+// Output columns: scenario, protocol, time (s), cumulative energy (J),
+// WiFi throughput (Mbps), LTE throughput (Mbps).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/energy"
+	"repro/internal/scenario"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against the given argument list and streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "s3", "device profile: s3 or n5")
+	seed := fs.Int64("seed", 0, "run seed")
+	sizeMB := fs.Float64("size", 256, "download size in MB")
+	scen := fs.String("scenario", "random", "random | background | mobility | multiap")
+	proto := fs.String("proto", "all", "all | mptcp | emptcp | tcpwifi")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var d *energy.DeviceProfile
+	switch *device {
+	case "s3":
+		d = energy.GalaxyS3()
+	case "n5":
+		d = energy.Nexus5()
+	default:
+		fmt.Fprintf(stderr, "unknown device %q\n", *device)
+		return 2
+	}
+
+	work := workload.FileDownload{Size: units.ByteSize(*sizeMB) * units.MB}
+	var sc scenario.Scenario
+	switch *scen {
+	case "random":
+		sc = scenario.RandomBandwidth(d, work)
+	case "background":
+		sc = scenario.BackgroundTraffic(d, 2, 0.05, 0.025, work)
+	case "mobility":
+		sc = scenario.Mobility(d)
+	case "multiap":
+		sc = scenario.MobilityMultiAP(d)
+	default:
+		fmt.Fprintf(stderr, "unknown scenario %q\n", *scen)
+		return 2
+	}
+
+	protos := map[string][]scenario.Protocol{
+		"all":     {scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi},
+		"mptcp":   {scenario.MPTCP},
+		"emptcp":  {scenario.EMPTCP},
+		"tcpwifi": {scenario.TCPWiFi},
+	}[*proto]
+	if protos == nil {
+		fmt.Fprintf(stderr, "unknown protocol %q\n", *proto)
+		return 2
+	}
+
+	fmt.Fprintln(stdout, "scenario\tprotocol\ttime_s\tenergy_J\twifi_mbps\tlte_mbps")
+	for _, p := range protos {
+		r := scenario.Run(sc, p, scenario.Opts{Seed: *seed, Trace: true})
+		et := r.EnergyTrace
+		for i := range et.T {
+			fmt.Fprintf(stdout, "%s\t%s\t%.1f\t%.2f\t%.3f\t%.3f\n",
+				*scen, p, et.T[i], et.V[i],
+				r.ThroughputTrace[energy.WiFi].V[i],
+				r.ThroughputTrace[energy.LTE].V[i])
+		}
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMobilityTrace(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "mobility", "-proto", "emptcp"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "scenario\tprotocol\ttime_s\tenergy_J\twifi_mbps\tlte_mbps" {
+		t.Errorf("header = %q", lines[0])
+	}
+	// 250 s trace at 1 s sampling → ~250 rows.
+	if len(lines) < 200 {
+		t.Errorf("only %d trace rows", len(lines))
+	}
+	if !strings.Contains(lines[1], "mobility\teMPTCP") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestRandomTraceSmallFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "random", "-size", "8", "-proto", "tcpwifi"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if len(strings.Split(out.String(), "\n")) < 3 {
+		t.Error("trace too short")
+	}
+}
+
+func TestMultiAPScenario(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scenario", "multiap", "-proto", "emptcp"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-device", "nokia"},
+		{"-scenario", "space"},
+		{"-proto", "sctp"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

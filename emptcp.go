@@ -1,0 +1,208 @@
+// Package emptcp is the public API of the eMPTCP reproduction: a
+// discrete-event simulation of energy-aware Multi-Path TCP on mobile
+// devices, reproducing Lim et al., "Design, Implementation, and Evaluation
+// of Energy-Aware Multi-Path TCP" (CoNEXT 2015).
+//
+// The package is a facade over the internal implementation:
+//
+//   - device power models with 3GPP promotion/tail radio state machines
+//     (GalaxyS3, Nexus5);
+//   - the Energy Information Base — the offline table of per-byte-optimal
+//     interface choices (NewEIB, Table 2 / Figures 3–4 of the paper);
+//   - scenario builders for every environment the paper evaluates
+//     (StaticLab, RandomBandwidth, BackgroundTraffic, Mobility, Wild,
+//     WebBrowsing);
+//   - the protocols under test (TCPWiFi, MPTCP, EMPTCP, WiFiFirst, MDP)
+//     and Run, which executes one protocol in one scenario and returns
+//     energy, timing and trace measurements;
+//   - the experiment registry (Experiments, ExperimentByID) regenerating
+//     every table and figure in the paper's evaluation.
+//
+// Quick start:
+//
+//	dev := emptcp.GalaxyS3()
+//	sc := emptcp.StaticLab(dev, 12, 9, emptcp.FileDownload{Size: 16 * emptcp.MB})
+//	res := emptcp.Run(sc, emptcp.EMPTCP, emptcp.Opts{Seed: 1})
+//	fmt.Println(res.Energy, res.CompletionTime)
+package emptcp
+
+import (
+	"repro/internal/eib"
+	"repro/internal/energy"
+	"repro/internal/exp"
+	"repro/internal/scenario"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Quantity types.
+type (
+	// ByteSize is an amount of data in bytes.
+	ByteSize = units.ByteSize
+	// BitRate is a data rate in bits per second.
+	BitRate = units.BitRate
+	// Energy is an amount of energy in joules.
+	Energy = units.Energy
+	// Power is a rate of energy use in watts.
+	Power = units.Power
+)
+
+// Common data sizes and rates.
+const (
+	KB = units.KB
+	MB = units.MB
+	GB = units.GB
+
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+)
+
+// Mbit builds a BitRate from a megabits-per-second value.
+func Mbit(v float64) BitRate { return units.MbpsRate(v) }
+
+// Device is a handset power profile.
+type Device = energy.DeviceProfile
+
+// GalaxyS3 returns the Samsung Galaxy S3 profile (the paper's primary
+// device), calibrated to reproduce its Table 2.
+func GalaxyS3() *Device { return energy.GalaxyS3() }
+
+// Nexus5 returns the LG Nexus 5 profile.
+func Nexus5() *Device { return energy.Nexus5() }
+
+// Interface identifies a network interface type.
+type Interface = energy.Interface
+
+// The modelled interfaces.
+const (
+	WiFi = energy.WiFi
+	LTE  = energy.LTE
+)
+
+// PathSet selects which interfaces carry traffic.
+type PathSet = energy.PathSet
+
+// Named path sets.
+var (
+	WiFiOnly = energy.WiFiOnly
+	LTEOnly  = energy.LTEOnly
+	Both     = energy.Both
+)
+
+// EIB is a generated Energy Information Base (§3.3 of the paper).
+type EIB = eib.Table
+
+// NewEIB generates the Energy Information Base for a device with the
+// paper's default grid and 10% hysteresis safety factor.
+func NewEIB(d *Device) *EIB { return eib.Generate(d, eib.DefaultConfig()) }
+
+// LoadEIB reads an Energy Information Base previously written with
+// (*EIB).Save — the paper's offline-computed on-device artifact.
+var LoadEIB = eib.Load
+
+// Protocol selects the transport strategy under test.
+type Protocol = scenario.Protocol
+
+// The protocols the paper compares.
+const (
+	// TCPWiFi is single-path TCP over WiFi.
+	TCPWiFi = scenario.TCPWiFi
+	// TCPLTE is single-path TCP over LTE.
+	TCPLTE = scenario.TCPLTE
+	// MPTCP is standard full-MPTCP with LIA coupling.
+	MPTCP = scenario.MPTCP
+	// EMPTCP is the paper's energy-aware MPTCP.
+	EMPTCP = scenario.EMPTCP
+	// WiFiFirst is MPTCP with the cellular subflow in backup mode.
+	WiFiFirst = scenario.WiFiFirst
+	// MDP is the Markov-decision-process scheduler of Pluntke et al.
+	MDP = scenario.MDP
+	// SinglePath is MPTCP's Single-Path mode (one subflow at a time,
+	// switching only when the active interface goes down).
+	SinglePath = scenario.SinglePath
+)
+
+// Scenario describes one experimental environment; Opts and Result carry
+// per-run options and measurements. See Run.
+type (
+	Scenario = scenario.Scenario
+	Opts     = scenario.Opts
+	Result   = scenario.Result
+)
+
+// Run executes one scenario under one protocol.
+func Run(sc Scenario, p Protocol, opt Opts) Result { return scenario.Run(sc, p, opt) }
+
+// Workloads.
+type (
+	// FileDownload fetches a single file.
+	FileDownload = workload.FileDownload
+	// FileUpload pushes a single file from the device (§7 future work).
+	FileUpload = workload.FileUpload
+	// Bulk downloads until the scenario horizon.
+	Bulk = workload.Bulk
+	// WebPage is the §5.4 browser page-load model.
+	WebPage = workload.WebPage
+	// Streaming is a paced chunked-video workload (§7 future work).
+	Streaming = workload.Streaming
+)
+
+// DefaultStreaming returns a two-minute 4 Mbps stream in 2 s chunks.
+func DefaultStreaming() Streaming { return workload.DefaultStreaming() }
+
+// DefaultWebPage returns the CNN-home-page model of §5.4 (107 objects,
+// 6 connections).
+func DefaultWebPage() WebPage { return workload.DefaultWebPage() }
+
+// Scenario builders for the paper's environments.
+var (
+	// StaticLab fixes both link bandwidths (§4.2).
+	StaticLab = scenario.StaticLab
+	// RandomBandwidth modulates WiFi with an exponential on-off process
+	// (§4.3).
+	RandomBandwidth = scenario.RandomBandwidth
+	// BackgroundTraffic adds Markov on-off interferers to the WiFi
+	// channel (§4.4).
+	BackgroundTraffic = scenario.BackgroundTraffic
+	// Mobility walks the Figure 11 route for 250 s (§4.5).
+	Mobility = scenario.Mobility
+	// MobilityMultiAP is the same route with multi-AP roaming coverage.
+	MobilityMultiAP = scenario.MobilityMultiAP
+	// Wild draws link rates from a Good/Bad quality grid with
+	// server-location RTTs (§5).
+	Wild = scenario.Wild
+	// WebBrowsing is the §5.4 case study.
+	WebBrowsing = scenario.WebBrowsing
+)
+
+// Quality is the §5.1 Good/Bad link categorization.
+type Quality = scenario.Quality
+
+// Link quality categories (8 Mbps threshold).
+const (
+	Bad  = scenario.Bad
+	Good = scenario.Good
+)
+
+// ServerLoc is one of the paper's server deployments.
+type ServerLoc = scenario.ServerLoc
+
+// The §5 server locations.
+const (
+	WDC = scenario.WDC
+	AMS = scenario.AMS
+	SNG = scenario.SNG
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment = exp.Experiment
+
+// ExperimentConfig parameterizes experiment runs.
+type ExperimentConfig = exp.Config
+
+// Experiments returns every experiment in paper order.
+func Experiments() []*Experiment { return exp.All() }
+
+// ExperimentByID returns the experiment with the given id ("fig5",
+// "table2", ...), or nil.
+func ExperimentByID(id string) *Experiment { return exp.ByID(id) }

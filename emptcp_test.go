@@ -1,0 +1,104 @@
+package emptcp_test
+
+import (
+	"testing"
+
+	emptcp "repro"
+)
+
+// The facade test exercises the public API end to end, as a downstream
+// user would.
+func TestQuickstartFlow(t *testing.T) {
+	dev := emptcp.GalaxyS3()
+	sc := emptcp.StaticLab(dev, 12, 9, emptcp.FileDownload{Size: 8 * emptcp.MB})
+	res := emptcp.Run(sc, emptcp.EMPTCP, emptcp.Opts{Seed: 1})
+	if !res.Completed {
+		t.Fatal("download did not complete")
+	}
+	if res.Energy <= 0 {
+		t.Error("no energy measured")
+	}
+	if res.CompletionTime <= 0 {
+		t.Error("no completion time")
+	}
+}
+
+func TestAllProtocolsRunnable(t *testing.T) {
+	dev := emptcp.Nexus5()
+	for _, p := range []emptcp.Protocol{
+		emptcp.TCPWiFi, emptcp.TCPLTE, emptcp.MPTCP,
+		emptcp.EMPTCP, emptcp.WiFiFirst, emptcp.MDP,
+	} {
+		sc := emptcp.StaticLab(dev, 6, 8, emptcp.FileDownload{Size: 2 * emptcp.MB})
+		res := emptcp.Run(sc, p, emptcp.Opts{Seed: 2})
+		if !res.Completed {
+			t.Errorf("%v did not complete", p)
+		}
+	}
+}
+
+func TestEIBFacade(t *testing.T) {
+	table := emptcp.NewEIB(emptcp.GalaxyS3())
+	if got := table.Best(emptcp.Mbit(10), emptcp.Mbit(2)); got != emptcp.WiFiOnly {
+		t.Errorf("fast WiFi Best = %v, want WiFi-only", got)
+	}
+	if got := table.Decide(emptcp.Both, emptcp.Mbit(0.3), emptcp.Mbit(1)); got != emptcp.Both {
+		t.Errorf("mid-region Decide = %v, want Both", got)
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	if len(emptcp.Experiments()) < 15 {
+		t.Errorf("only %d experiments registered", len(emptcp.Experiments()))
+	}
+	e := emptcp.ExperimentByID("fig1")
+	if e == nil {
+		t.Fatal("fig1 missing")
+	}
+	out := e.Run(emptcp.ExperimentConfig{Quick: true})
+	if len(out.Tables) == 0 {
+		t.Error("fig1 produced no tables")
+	}
+}
+
+func TestWildAndWebFacade(t *testing.T) {
+	sc := emptcp.Wild(emptcp.GalaxyS3(), emptcp.Good, emptcp.Bad, emptcp.SNG,
+		emptcp.FileDownload{Size: emptcp.MB})
+	res := emptcp.Run(sc, emptcp.MPTCP, emptcp.Opts{Seed: 3})
+	if !res.Completed {
+		t.Error("wild download did not complete")
+	}
+	web := emptcp.WebBrowsing(emptcp.GalaxyS3())
+	res = emptcp.Run(web, emptcp.TCPWiFi, emptcp.Opts{Seed: 3})
+	if !res.Completed {
+		t.Error("web page load did not complete")
+	}
+}
+
+func TestMobilityFacade(t *testing.T) {
+	res := emptcp.Run(emptcp.Mobility(emptcp.GalaxyS3()), emptcp.EMPTCP, emptcp.Opts{Seed: 4})
+	if res.Completed {
+		t.Error("bulk mobility run should hit the horizon")
+	}
+	if res.Downloaded <= 0 {
+		t.Error("nothing downloaded on the route")
+	}
+}
+
+func TestExtensionWorkloadsFacade(t *testing.T) {
+	dev := emptcp.GalaxyS3()
+	up := emptcp.Run(emptcp.StaticLab(dev, 6, 4.5, emptcp.FileUpload{Size: emptcp.MB}),
+		emptcp.TCPWiFi, emptcp.Opts{Seed: 40})
+	if !up.Completed || up.Uploaded != emptcp.MB {
+		t.Errorf("upload: completed=%v uploaded=%v", up.Completed, up.Uploaded)
+	}
+	st := emptcp.Run(emptcp.StaticLab(dev, 12, 4.5, emptcp.DefaultStreaming()),
+		emptcp.EMPTCP, emptcp.Opts{Seed: 41})
+	if !st.Completed {
+		t.Error("stream did not complete")
+	}
+	sp := emptcp.Run(emptcp.Mobility(dev), emptcp.SinglePath, emptcp.Opts{Seed: 42})
+	if sp.Downloaded <= 0 {
+		t.Error("Single-Path mobility run moved nothing")
+	}
+}

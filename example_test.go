@@ -1,0 +1,55 @@
+package emptcp_test
+
+import (
+	"fmt"
+
+	emptcp "repro"
+)
+
+// The basic workflow: build a scenario, run a protocol, read the result.
+func Example() {
+	dev := emptcp.GalaxyS3()
+	sc := emptcp.StaticLab(dev, 12, 9, emptcp.FileDownload{Size: 16 * emptcp.MB})
+	res := emptcp.Run(sc, emptcp.EMPTCP, emptcp.Opts{Seed: 1})
+	fmt.Printf("completed=%v lteUsed=%v\n", res.Completed, res.LTEUsed)
+	// Output:
+	// completed=true lteUsed=false
+}
+
+// Comparing protocols on the same scenario shows eMPTCP's core trade:
+// standard MPTCP is fastest, eMPTCP matches TCP-over-WiFi's energy.
+func ExampleRun() {
+	dev := emptcp.GalaxyS3()
+	sc := emptcp.StaticLab(dev, 12, 9, emptcp.FileDownload{Size: 16 * emptcp.MB})
+	mp := emptcp.Run(sc, emptcp.MPTCP, emptcp.Opts{Seed: 1})
+	em := emptcp.Run(sc, emptcp.EMPTCP, emptcp.Opts{Seed: 1})
+	tw := emptcp.Run(sc, emptcp.TCPWiFi, emptcp.Opts{Seed: 1})
+	fmt.Printf("MPTCP fastest: %v\n", mp.CompletionTime < em.CompletionTime)
+	fmt.Printf("eMPTCP == TCP/WiFi energy: %v\n", em.Energy == tw.Energy)
+	fmt.Printf("eMPTCP saves vs MPTCP: %v\n", em.Energy < mp.Energy)
+	// Output:
+	// MPTCP fastest: true
+	// eMPTCP == TCP/WiFi energy: true
+	// eMPTCP saves vs MPTCP: true
+}
+
+// The Energy Information Base answers "which interfaces should carry
+// traffic at these throughputs?" — the paper's Table 2.
+func ExampleNewEIB() {
+	table := emptcp.NewEIB(emptcp.GalaxyS3())
+	fmt.Println(table.Best(emptcp.Mbit(10), emptcp.Mbit(1)))
+	fmt.Println(table.Best(emptcp.Mbit(0.3), emptcp.Mbit(1)))
+	// Output:
+	// WiFi-only
+	// Both
+}
+
+// Experiments regenerate the paper's tables and figures; Quick mode keeps
+// them fast enough for docs and CI.
+func ExampleExperimentByID() {
+	e := emptcp.ExperimentByID("table2")
+	out := e.Run(emptcp.ExperimentConfig{Quick: true})
+	fmt.Println(len(out.Tables) > 0)
+	// Output:
+	// true
+}

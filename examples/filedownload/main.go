@@ -1,0 +1,44 @@
+// Filedownload sweeps download sizes and WiFi bandwidths across protocols,
+// reproducing the lab methodology of §4 and §5.3: it shows where each
+// strategy wins, including the small-file regime where delayed subflow
+// establishment saves the whole cellular fixed cost and the bad-WiFi
+// regime where multipath pays off.
+package main
+
+import (
+	"fmt"
+
+	emptcp "repro"
+)
+
+func main() {
+	device := emptcp.GalaxyS3()
+	protos := []emptcp.Protocol{emptcp.MPTCP, emptcp.EMPTCP, emptcp.TCPWiFi}
+
+	fmt.Println("=== size sweep at good WiFi (12 Mbps) and LTE 9 Mbps ===")
+	fmt.Printf("%-10s %-16s %10s %12s %8s\n", "size", "protocol", "energy J", "time s", "J/MB")
+	for _, sizeMB := range []float64{0.25, 1, 4, 16, 64} {
+		size := emptcp.ByteSize(sizeMB) * emptcp.MB
+		for _, p := range protos {
+			sc := emptcp.StaticLab(device, 12, 9, emptcp.FileDownload{Size: size})
+			res := emptcp.Run(sc, p, emptcp.Opts{Seed: 7})
+			fmt.Printf("%-10v %-16s %10.1f %12.2f %8.2f\n",
+				size, p, res.Energy.Joules(), res.CompletionTime,
+				res.Energy.Joules()/res.Downloaded.Megabytes())
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== WiFi bandwidth sweep, 16 MB download, LTE 9 Mbps ===")
+	fmt.Printf("%-12s %-16s %10s %12s %9s\n", "wifi Mbps", "protocol", "energy J", "time s", "LTE used")
+	for _, wifi := range []float64{0.5, 2, 6, 12, 18} {
+		for _, p := range protos {
+			sc := emptcp.StaticLab(device, wifi, 9, emptcp.FileDownload{Size: 16 * emptcp.MB})
+			res := emptcp.Run(sc, p, emptcp.Opts{Seed: 7})
+			fmt.Printf("%-12.1f %-16s %10.1f %12.1f %9v\n",
+				wifi, p, res.Energy.Joules(), res.CompletionTime, res.LTEUsed)
+		}
+		fmt.Println()
+	}
+	fmt.Println("watch eMPTCP's LTE column flip off as WiFi crosses the EIB threshold")
+}

@@ -1,0 +1,228 @@
+// Package baseline implements the alternative energy-management strategies
+// the paper compares against in §4.6 and §6:
+//
+//   - MPTCP with WiFi First (Raiciu et al. [28]): the cellular subflow is
+//     placed in backup mode at establishment and activated only when the
+//     WiFi association is lost. The radio is still powered at connection
+//     establishment, paying promotion and tail for nothing.
+//   - The MDP path scheduler (Pluntke et al. [24]): an offline-computed
+//     Markov-decision-process policy with one-second decision epochs over
+//     a finite state machine of throughput changes. The paper, unable to
+//     run the expensive computation on the phone, generates the schedulers
+//     offline and simulates them; this package does the same with value
+//     iteration. Following [24], the scheduler uses one interface at a
+//     time and its per-epoch cost is the energy consumed per second
+//     (power) of the chosen interface at the FSM's current rate level —
+//     which is why, under an LTE energy model whose per-second consumption
+//     never drops below WiFi's at any matched rate, the generated policy
+//     degenerates to WiFi-only in every state (§4.6).
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// WiFiFirst tracks the "MPTCP with WiFi First" rule. The scenario layer
+// feeds it association events and applies its verdicts via MP_PRIO.
+type WiFiFirst struct {
+	associated bool
+}
+
+// NewWiFiFirst starts with the WiFi association in the given state.
+func NewWiFiFirst(associated bool) *WiFiFirst {
+	return &WiFiFirst{associated: associated}
+}
+
+// OnAssociation records an association change and returns whether the
+// cellular subflow should now carry traffic: only when WiFi is gone.
+func (w *WiFiFirst) OnAssociation(associated bool) (useCellular bool) {
+	w.associated = associated
+	return !associated
+}
+
+// UseCellular reports the current verdict.
+func (w *WiFiFirst) UseCellular() bool { return !w.associated }
+
+// MDPConfig parameterizes the Pluntke et al. scheduler generation.
+type MDPConfig struct {
+	// Rates are the discretised throughput levels of the finite state
+	// machine of throughput changes the MDP is defined over.
+	Rates []units.BitRate
+	// StayProb is the per-epoch probability of remaining in the same
+	// throughput level; the rest moves to a neighbouring level.
+	StayProb float64
+	// Epoch is the decision interval in seconds (1 s in [24]).
+	Epoch float64
+	// Discount is the value-iteration discount factor.
+	Discount float64
+	// Device supplies the energy model the costs are computed from.
+	Device *energy.DeviceProfile
+	// Cellular selects which cellular interface competes with WiFi
+	// (Pluntke et al. modelled 3G; the paper's setting is LTE).
+	Cellular energy.Interface
+}
+
+// DefaultMDPConfig discretises throughput into levels covering the paper's
+// lab range, with LTE as the cellular interface.
+func DefaultMDPConfig(d *energy.DeviceProfile) MDPConfig {
+	lv := func(ms ...float64) []units.BitRate {
+		out := make([]units.BitRate, len(ms))
+		for i, m := range ms {
+			out[i] = units.MbpsRate(m)
+		}
+		return out
+	}
+	return MDPConfig{
+		Rates:    lv(0.25, 1, 2, 4, 6, 9, 12),
+		StayProb: 0.9,
+		Epoch:    1.0,
+		Discount: 0.95,
+		Device:   d,
+		Cellular: energy.LTE,
+	}
+}
+
+// MDPPolicy is the generated scheduler: an interface choice per
+// throughput-FSM state.
+type MDPPolicy struct {
+	cfg    MDPConfig
+	choice []energy.PathSet // per rate level
+}
+
+// mdpActions: the scheduler of [24] switches between interfaces, using one
+// at a time.
+var mdpActions = []energy.PathSet{energy.WiFiOnly, energy.LTEOnly}
+
+// power returns the device's per-second energy consumption using interface
+// set a at rate r.
+func (cfg MDPConfig) power(a energy.PathSet, r units.BitRate) float64 {
+	switch a {
+	case energy.WiFiOnly:
+		return float64(cfg.Device.SteadyPower(energy.WiFiOnly, r, 0))
+	default:
+		// Cellular-only. 3G reuses the LTE slot of SteadyPower via the
+		// radio parameters.
+		if cfg.Cellular == energy.Cell3G {
+			return float64(cfg.Device.DeviceBase + cfg.Device.Radios[energy.Cell3G].ActivePower(r, 0))
+		}
+		return float64(cfg.Device.SteadyPower(energy.LTEOnly, 0, r))
+	}
+}
+
+// GenerateMDP runs value iteration to convergence and extracts the greedy
+// policy.
+func GenerateMDP(cfg MDPConfig) *MDPPolicy {
+	if len(cfg.Rates) == 0 {
+		panic("baseline: MDP needs at least one rate level")
+	}
+	if cfg.StayProb < 0 || cfg.StayProb > 1 || cfg.Discount <= 0 || cfg.Discount >= 1 {
+		panic("baseline: invalid MDP parameters")
+	}
+	n := len(cfg.Rates)
+
+	type trans struct {
+		to int
+		p  float64
+	}
+	next := make([][]trans, n)
+	for i := 0; i < n; i++ {
+		if n == 1 {
+			next[i] = []trans{{0, 1}}
+			continue
+		}
+		var neigh []int
+		if i-1 >= 0 {
+			neigh = append(neigh, i-1)
+		}
+		if i+1 < n {
+			neigh = append(neigh, i+1)
+		}
+		ts := []trans{{i, cfg.StayProb}}
+		p := (1 - cfg.StayProb) / float64(len(neigh))
+		for _, j := range neigh {
+			ts = append(ts, trans{j, p})
+		}
+		next[i] = ts
+	}
+
+	cost := func(i int, a energy.PathSet) float64 {
+		return cfg.power(a, cfg.Rates[i]) * cfg.Epoch
+	}
+
+	v := make([]float64, n)
+	for iter := 0; iter < 100000; iter++ {
+		maxDelta := 0.0
+		for s := 0; s < n; s++ {
+			ev := 0.0
+			for _, t := range next[s] {
+				ev += t.p * v[t.to]
+			}
+			best := math.Inf(1)
+			for _, a := range mdpActions {
+				if q := cost(s, a) + cfg.Discount*ev; q < best {
+					best = q
+				}
+			}
+			if d := math.Abs(best - v[s]); d > maxDelta {
+				maxDelta = d
+			}
+			v[s] = best
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+
+	pol := &MDPPolicy{cfg: cfg, choice: make([]energy.PathSet, n)}
+	for s := 0; s < n; s++ {
+		ev := 0.0
+		for _, t := range next[s] {
+			ev += t.p * v[t.to]
+		}
+		best := math.Inf(1)
+		bestA := energy.WiFiOnly
+		for _, a := range mdpActions {
+			if q := cost(s, a) + cfg.Discount*ev; q < best {
+				best = q
+				bestA = a
+			}
+		}
+		pol.choice[s] = bestA
+	}
+	return pol
+}
+
+// Decide returns the policy's action for an observed throughput, snapping
+// it to the nearest discretisation level. Per [24] the scheduler consults
+// the FSM state once per epoch.
+func (p *MDPPolicy) Decide(rate units.BitRate) energy.PathSet {
+	return p.choice[nearest(p.cfg.Rates, rate)]
+}
+
+// Epoch returns the decision interval.
+func (p *MDPPolicy) Epoch() float64 { return p.cfg.Epoch }
+
+// AlwaysWiFiOnly reports whether the policy picks WiFi-only in every
+// state — the degenerate outcome the paper observes in §4.6 when LTE's
+// per-second energy never drops below WiFi's.
+func (p *MDPPolicy) AlwaysWiFiOnly() bool {
+	for _, a := range p.choice {
+		if a != energy.WiFiOnly {
+			return false
+		}
+	}
+	return true
+}
+
+func nearest(levels []units.BitRate, v units.BitRate) int {
+	best, bd := 0, math.Inf(1)
+	for i, l := range levels {
+		if d := math.Abs(float64(l - v)); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+func TestWiFiFirstRule(t *testing.T) {
+	w := NewWiFiFirst(true)
+	if w.UseCellular() {
+		t.Error("associated: should not use cellular")
+	}
+	if !w.OnAssociation(false) {
+		t.Error("disassociated: should switch to cellular")
+	}
+	if !w.UseCellular() {
+		t.Error("UseCellular should reflect the last event")
+	}
+	if w.OnAssociation(true) {
+		t.Error("re-associated: should leave cellular")
+	}
+}
+
+func TestWiFiFirstIgnoresThroughput(t *testing.T) {
+	// The §4.6 critique: WiFi First has no notion of throughput — only
+	// association. A device associated to a useless AP stays on WiFi; the
+	// verdict depends solely on association, by construction.
+	w := NewWiFiFirst(true)
+	if w.UseCellular() {
+		t.Error("associated with zero-throughput WiFi still means WiFi for WiFi-First")
+	}
+}
+
+func TestMDPDegeneratesToWiFiOnly(t *testing.T) {
+	// §4.6: "LTE energy consumption per second never becomes lower than
+	// WiFi in our energy model. We observe that the generated MDP
+	// schedulers choose WiFi-only for all scenarios."
+	pol := GenerateMDP(DefaultMDPConfig(energy.GalaxyS3()))
+	if !pol.AlwaysWiFiOnly() {
+		t.Error("MDP policy under the LTE energy model should always pick WiFi-only")
+	}
+	for _, r := range []float64{0.25, 1, 6, 12} {
+		if got := pol.Decide(units.MbpsRate(r)); got != energy.WiFiOnly {
+			t.Errorf("Decide(%v Mbps) = %v, want WiFi-only", r, got)
+		}
+	}
+}
+
+func TestMDPNexus5AlsoWiFiOnly(t *testing.T) {
+	pol := GenerateMDP(DefaultMDPConfig(energy.Nexus5()))
+	if !pol.AlwaysWiFiOnly() {
+		t.Error("Nexus 5 MDP should also degenerate to WiFi-only")
+	}
+}
+
+func TestMDPWithCheapCellularUsesCellular(t *testing.T) {
+	// Pluntke et al. considered 3G models where cellular per-second power
+	// dips below WiFi at high data rates. With a synthetic device whose
+	// cellular radio is much cheaper than WiFi, the policy must flip.
+	d := energy.GalaxyS3()
+	d.Radios[energy.LTE].Base = units.MilliwattPower(50)
+	d.Radios[energy.LTE].PerMbpsDown = units.MilliwattPower(5)
+	pol := GenerateMDP(DefaultMDPConfig(d))
+	if pol.AlwaysWiFiOnly() {
+		t.Error("cheap-cellular model should produce cellular choices somewhere")
+	}
+}
+
+func TestMDPCrossoverModel(t *testing.T) {
+	// A model where cellular beats WiFi only at high rates: the policy
+	// must be rate-dependent — WiFi at low levels, cellular at high ones.
+	d := energy.GalaxyS3()
+	d.Radios[energy.LTE].Base = units.MilliwattPower(700)
+	d.Radios[energy.LTE].PerMbpsDown = units.MilliwattPower(5)
+	// WiFi: 200 + 137r; cellular: 700 + 5r → crossover at r ≈ 3.8 Mbps.
+	pol := GenerateMDP(DefaultMDPConfig(d))
+	if got := pol.Decide(units.MbpsRate(0.25)); got != energy.WiFiOnly {
+		t.Errorf("low rate: %v, want WiFi-only", got)
+	}
+	if got := pol.Decide(units.MbpsRate(12)); got != energy.LTEOnly {
+		t.Errorf("high rate: %v, want LTE-only", got)
+	}
+}
+
+func TestMDP3GVariant(t *testing.T) {
+	cfg := DefaultMDPConfig(energy.GalaxyS3())
+	cfg.Cellular = energy.Cell3G
+	pol := GenerateMDP(cfg)
+	// 3G base 818 mW vs WiFi 200 + 137r: 3G per-second beats WiFi above
+	// r ≈ 41 Mbps, outside the grid → still WiFi-only.
+	if !pol.AlwaysWiFiOnly() {
+		t.Error("3G variant should also degenerate to WiFi-only on this grid")
+	}
+}
+
+func TestMDPEpoch(t *testing.T) {
+	pol := GenerateMDP(DefaultMDPConfig(energy.GalaxyS3()))
+	if pol.Epoch() != 1.0 {
+		t.Errorf("epoch = %v, want 1 s as in [24]", pol.Epoch())
+	}
+}
+
+func TestMDPNearestSnapping(t *testing.T) {
+	pol := GenerateMDP(DefaultMDPConfig(energy.GalaxyS3()))
+	for _, r := range []float64{0, 0.1, 3, 7, 100} {
+		_ = pol.Decide(units.MbpsRate(r)) // must not panic
+	}
+}
+
+func TestMDPSingleLevel(t *testing.T) {
+	cfg := DefaultMDPConfig(energy.GalaxyS3())
+	cfg.Rates = cfg.Rates[:1]
+	pol := GenerateMDP(cfg)
+	if got := pol.Decide(units.MbpsRate(5)); got != energy.WiFiOnly {
+		t.Errorf("single-level policy = %v", got)
+	}
+}
+
+func TestMDPPanicsOnBadConfig(t *testing.T) {
+	cfg := DefaultMDPConfig(energy.GalaxyS3())
+	cfg.Rates = nil
+	defer func() {
+		if recover() == nil {
+			t.Error("empty rate levels did not panic")
+		}
+	}()
+	GenerateMDP(cfg)
+}
+
+func TestMDPPanicsOnBadDiscount(t *testing.T) {
+	cfg := DefaultMDPConfig(energy.GalaxyS3())
+	cfg.Discount = 1.5
+	defer func() {
+		if recover() == nil {
+			t.Error("bad discount did not panic")
+		}
+	}()
+	GenerateMDP(cfg)
+}

@@ -1,0 +1,27 @@
+package eib
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// BenchmarkGenerate measures the offline table computation (bisection over
+// the full LTE grid) — the artifact the paper ships to the device.
+func BenchmarkGenerate(b *testing.B) {
+	d := energy.GalaxyS3()
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		Generate(d, cfg)
+	}
+}
+
+// BenchmarkDecide measures the per-tick controller decision path.
+func BenchmarkDecide(b *testing.B) {
+	t := Generate(energy.GalaxyS3(), DefaultConfig())
+	cur := energy.Both
+	for i := 0; i < b.N; i++ {
+		cur = t.Decide(cur, units.MbpsRate(float64(i%120)/10), units.MbpsRate(4.5))
+	}
+}

@@ -1,0 +1,363 @@
+// Package eib implements eMPTCP's Energy Information Base (§3.3 of the
+// paper): the offline-computed table that tells the path usage controller
+// which interface set maximizes per-byte energy efficiency at the
+// currently-predicted throughputs.
+//
+// The table is an array indexed by observed LTE throughput; each entry
+// holds two WiFi throughput thresholds (the paper's Table 2):
+//
+//   - below the LTE-only threshold, WiFi is so slow that keeping its radio
+//     up costs more than the bytes it contributes — use LTE only;
+//   - at or above the WiFi-only threshold, WiFi alone is more efficient
+//     than paying the LTE radio's power — use WiFi only;
+//   - in between lies the V-shaped region (Figure 3) where using both
+//     interfaces consumes the least energy per downloaded byte.
+//
+// Decisions made through Decide apply the 10 % safety factor of §3.4: the
+// threshold that would trigger a state switch is moved 10 % against the
+// switch, adding hysteresis that prevents oscillation.
+package eib
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// Config controls table generation.
+type Config struct {
+	// LTEGridStep and LTEGridMax define the LTE-throughput rows of the
+	// table. Table 2 uses 0.5 Mbps steps.
+	LTEGridStep units.BitRate
+	LTEGridMax  units.BitRate
+	// MaxWiFi bounds the threshold search.
+	MaxWiFi units.BitRate
+	// SafetyFactor is the hysteresis fraction of §3.4 (0.10 in the paper).
+	SafetyFactor float64
+	// AllowLTEOnly permits Decide to return LTE-only. The paper notes
+	// eMPTCP "does not typically switch to using a cellular interface
+	// only, since the expected gain is not much more than using both"
+	// (§3.4), so the default is false and the LTE-only region maps to
+	// Both.
+	AllowLTEOnly bool
+	// Uplink generates the table from uplink per-byte energies — an
+	// extension toward the paper's §7 upload future work. Cellular
+	// transmit power per Mbps dwarfs receive power, so the upload table's
+	// WiFi-only thresholds sit markedly lower.
+	Uplink bool
+}
+
+// DefaultConfig returns the configuration matching the paper's Table 2.
+// The LTE grid stops at 12 Mbps: beyond that the model (correctly) pushes
+// both thresholds past any realistic WiFi rate — LTE is so efficient at
+// high rates that neither WiFi-only nor WiFi-assisted operation wins —
+// and the paper's own Figure 3 grid only covers up to 10 Mbps.
+func DefaultConfig() Config {
+	return Config{
+		LTEGridStep:  units.MbpsRate(0.5),
+		LTEGridMax:   units.MbpsRate(12),
+		MaxWiFi:      units.MbpsRate(50),
+		SafetyFactor: 0.10,
+	}
+}
+
+// Entry is one row of the table: at observed LTE throughput LTE, use LTE
+// only when WiFi < LTEOnlyBelow; use WiFi only when WiFi ≥ WiFiOnlyAtLeast;
+// use both otherwise.
+type Entry struct {
+	LTE             units.BitRate
+	LTEOnlyBelow    units.BitRate
+	WiFiOnlyAtLeast units.BitRate
+}
+
+// Table is a generated Energy Information Base.
+type Table struct {
+	Device  *energy.DeviceProfile
+	Config  Config
+	Entries []Entry
+}
+
+// Generate computes the EIB for a device by locating, for each LTE
+// throughput row, the two WiFi-throughput crossing points of the per-byte
+// energy curves. The crossings are unique because per-byte energies are
+// monotone in WiFi throughput over the search range, so bisection applies.
+func Generate(d *energy.DeviceProfile, cfg Config) *Table {
+	if cfg.LTEGridStep <= 0 || cfg.LTEGridMax <= 0 || cfg.MaxWiFi <= 0 {
+		panic("eib: grid parameters must be positive")
+	}
+	if cfg.SafetyFactor < 0 || cfg.SafetyFactor >= 1 {
+		panic("eib: safety factor must be in [0,1)")
+	}
+	t := &Table{Device: d, Config: cfg}
+	for lte := cfg.LTEGridStep; lte <= cfg.LTEGridMax+1e-9; lte += cfg.LTEGridStep {
+		t.Entries = append(t.Entries, Entry{
+			LTE:             lte,
+			LTEOnlyBelow:    lteOnlyThreshold(d, lte, cfg.MaxWiFi, cfg.Uplink),
+			WiFiOnlyAtLeast: wifiOnlyThreshold(d, lte, cfg.MaxWiFi, cfg.Uplink),
+		})
+	}
+	return t
+}
+
+// lteOnlyThreshold finds the smallest WiFi throughput at which using both
+// interfaces is at least as efficient as LTE alone.
+func lteOnlyThreshold(d *energy.DeviceProfile, lte, maxWiFi units.BitRate, uplink bool) units.BitRate {
+	better := func(wifi units.BitRate) bool {
+		return d.PerByteEnergyDir(energy.Both, wifi, lte, uplink) <= d.PerByteEnergyDir(energy.LTEOnly, wifi, lte, uplink)
+	}
+	return bisectRate(better, maxWiFi)
+}
+
+// wifiOnlyThreshold finds the smallest WiFi throughput at which WiFi alone
+// is at least as efficient as using both interfaces.
+func wifiOnlyThreshold(d *energy.DeviceProfile, lte, maxWiFi units.BitRate, uplink bool) units.BitRate {
+	better := func(wifi units.BitRate) bool {
+		return d.PerByteEnergyDir(energy.WiFiOnly, wifi, lte, uplink) <= d.PerByteEnergyDir(energy.Both, wifi, lte, uplink)
+	}
+	return bisectRate(better, maxWiFi)
+}
+
+// bisectRate finds the smallest rate in (0, max] satisfying pred, assuming
+// pred is monotone (false below the crossing, true above). It returns max
+// if pred never holds.
+func bisectRate(pred func(units.BitRate) bool, max units.BitRate) units.BitRate {
+	lo, hi := units.BitRate(0), max
+	if !pred(hi) {
+		return max
+	}
+	for i := 0; i < 60 && hi-lo > 1e-3; i++ { // 1e-3 bps precision
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Thresholds returns the (LTE-only, WiFi-only) WiFi thresholds at the
+// given LTE throughput, linearly interpolated between table rows and
+// linearly extrapolated from the origin below the first row.
+func (t *Table) Thresholds(lte units.BitRate) (lteOnlyBelow, wifiOnlyAtLeast units.BitRate) {
+	if len(t.Entries) == 0 {
+		return 0, 0
+	}
+	if lte <= 0 {
+		return 0, 0
+	}
+	i := sort.Search(len(t.Entries), func(i int) bool { return t.Entries[i].LTE >= lte })
+	if i == len(t.Entries) {
+		last := t.Entries[len(t.Entries)-1]
+		return last.LTEOnlyBelow, last.WiFiOnlyAtLeast
+	}
+	hi := t.Entries[i]
+	var lo Entry // zero entry: thresholds collapse to 0 at zero LTE throughput
+	if i > 0 {
+		lo = t.Entries[i-1]
+	}
+	span := float64(hi.LTE - lo.LTE)
+	if span <= 0 {
+		return hi.LTEOnlyBelow, hi.WiFiOnlyAtLeast
+	}
+	f := float64(lte-lo.LTE) / span
+	interp := func(a, b units.BitRate) units.BitRate {
+		return a + units.BitRate(f*float64(b-a))
+	}
+	return interp(lo.LTEOnlyBelow, hi.LTEOnlyBelow), interp(lo.WiFiOnlyAtLeast, hi.WiFiOnlyAtLeast)
+}
+
+// Best returns the most efficient path set at the given throughputs with
+// no hysteresis (the raw table decision).
+func (t *Table) Best(wifi, lte units.BitRate) energy.PathSet {
+	t1, t2 := t.Thresholds(lte)
+	switch {
+	case wifi >= t2:
+		return energy.WiFiOnly
+	case wifi < t1:
+		if t.Config.AllowLTEOnly {
+			return energy.LTEOnly
+		}
+		return energy.Both
+	default:
+		return energy.Both
+	}
+}
+
+// Decide returns the path set to use given the current one and the
+// predicted throughputs, applying the safety factor of §3.4: switching
+// away from the current state requires crossing the relevant threshold by
+// an extra SafetyFactor margin. With the paper's example (Table 2 row
+// LTE=1 Mbps, WiFi-only threshold 0.502): from Both, WiFi-only needs a
+// predicted WiFi throughput ≥ 0.552; from WiFi-only, returning to Both
+// needs < 0.452.
+func (t *Table) Decide(current energy.PathSet, wifi, lte units.BitRate) energy.PathSet {
+	t1, t2 := t.Thresholds(lte)
+	s := units.BitRate(t.Config.SafetyFactor)
+	up2 := t2 + s*t2   // threshold to *enter* WiFi-only
+	down2 := t2 - s*t2 // threshold to *leave* WiFi-only
+	up1 := t1 + s*t1   // threshold to *leave* LTE-only
+	down1 := t1 - s*t1 // threshold to *enter* LTE-only
+
+	next := current
+	switch current {
+	case energy.WiFiOnly:
+		if wifi < down2 {
+			next = energy.Both
+		}
+	case energy.LTEOnly:
+		if wifi >= up1 {
+			next = energy.Both
+		}
+	default: // Both (or anything else: treat as Both)
+		switch {
+		case wifi >= up2:
+			next = energy.WiFiOnly
+		case wifi < down1:
+			next = energy.LTEOnly
+		default:
+			next = energy.Both
+		}
+	}
+	// Re-examine chained transitions: e.g. from LTE-only with very fast
+	// WiFi we should land directly in WiFi-only, not stop at Both.
+	if next == energy.Both && current != energy.Both {
+		switch {
+		case wifi >= up2:
+			next = energy.WiFiOnly
+		case wifi < down1:
+			next = energy.LTEOnly
+		}
+	}
+	if next == energy.LTEOnly && !t.Config.AllowLTEOnly {
+		next = energy.Both
+	}
+	return next
+}
+
+// String renders the table in the layout of the paper's Table 2.
+func (t *Table) String() string {
+	name := "unknown device"
+	if t.Device != nil {
+		name = t.Device.Name
+	}
+	s := fmt.Sprintf("Energy Information Base — %s\n", name)
+	s += "LTE Thpt (Mbps) | LTE-Only below (Mbps) | WiFi-Only at least (Mbps)\n"
+	for _, e := range t.Entries {
+		s += fmt.Sprintf("%15.1f | %21.3f | %25.3f\n",
+			e.LTE.Mbit(), e.LTEOnlyBelow.Mbit(), e.WiFiOnlyAtLeast.Mbit())
+	}
+	return s
+}
+
+// Heatmap is the Figure 3 dataset: the per-byte energy of using both
+// interfaces relative to the best single interface, over a WiFi×LTE
+// throughput grid. Values below 1 fall inside the V-shaped region where
+// MPTCP is the most energy-efficient choice.
+type Heatmap struct {
+	WiFi []units.BitRate // column coordinates
+	LTE  []units.BitRate // row coordinates
+	// Rel[i][j] is E_both / min(E_wifi, E_lte) at LTE[i], WiFi[j].
+	Rel [][]float64
+}
+
+// RelativeEfficiencyHeatmap computes the Figure 3 heat map.
+func RelativeEfficiencyHeatmap(d *energy.DeviceProfile, maxWiFi, maxLTE units.BitRate, n int) *Heatmap {
+	if n < 2 {
+		panic("eib: heatmap needs at least a 2x2 grid")
+	}
+	h := &Heatmap{}
+	for j := 1; j <= n; j++ {
+		h.WiFi = append(h.WiFi, maxWiFi*units.BitRate(j)/units.BitRate(n))
+	}
+	for i := 1; i <= n; i++ {
+		h.LTE = append(h.LTE, maxLTE*units.BitRate(i)/units.BitRate(n))
+	}
+	for _, lte := range h.LTE {
+		row := make([]float64, 0, n)
+		for _, wifi := range h.WiFi {
+			_, single := d.BestSinglePath(wifi, lte)
+			both := d.PerByteEnergy(energy.Both, wifi, lte)
+			row = append(row, both/single)
+		}
+		h.Rel = append(h.Rel, row)
+	}
+	return h
+}
+
+// MPTCPBestFraction returns the fraction of heat-map cells where using
+// both interfaces beats the best single interface — the area of the
+// Figure 3 "V".
+func (h *Heatmap) MPTCPBestFraction() float64 {
+	total, best := 0, 0
+	for _, row := range h.Rel {
+		for _, v := range row {
+			total++
+			if v < 1 {
+				best++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(best) / float64(total)
+}
+
+// Region is one Figure 4 curve: for each WiFi throughput column, the LTE
+// throughput interval (if any) in which completing an entire transfer of
+// Size over both interfaces uses less energy than either single interface,
+// fixed promotion/tail overheads included.
+type Region struct {
+	Size units.ByteSize
+	WiFi []units.BitRate
+	// LTEMin/LTEMax bound the winning interval per WiFi column; NaN when
+	// both never wins in that column.
+	LTEMin []float64
+	LTEMax []float64
+}
+
+// OperatingRegion computes a Figure 4 curve by scanning an LTE grid per
+// WiFi column.
+func OperatingRegion(d *energy.DeviceProfile, size units.ByteSize, maxWiFi, maxLTE units.BitRate, n int) Region {
+	r := Region{Size: size}
+	for j := 1; j <= n; j++ {
+		wifi := maxWiFi * units.BitRate(j) / units.BitRate(n)
+		lo, hi := math.NaN(), math.NaN()
+		for i := 1; i <= 4*n; i++ {
+			lte := maxLTE * units.BitRate(i) / units.BitRate(4*n)
+			eb := d.TransferEnergy(energy.Both, size, wifi, lte)
+			ew := d.TransferEnergy(energy.WiFiOnly, size, wifi, lte)
+			el := d.TransferEnergy(energy.LTEOnly, size, wifi, lte)
+			if eb < ew && eb < el {
+				if math.IsNaN(lo) {
+					lo = lte.Mbit()
+				}
+				hi = lte.Mbit()
+			}
+		}
+		r.WiFi = append(r.WiFi, wifi)
+		r.LTEMin = append(r.LTEMin, lo)
+		r.LTEMax = append(r.LTEMax, hi)
+	}
+	return r
+}
+
+// Area returns the number of WiFi columns in which both-wins intervals
+// exist, as a crude measure of region size: Figure 4 shows the region
+// growing with transfer size.
+func (r Region) Area() float64 {
+	a := 0.0
+	for i := range r.WiFi {
+		if !math.IsNaN(r.LTEMin[i]) {
+			a += r.LTEMax[i] - r.LTEMin[i]
+		}
+	}
+	return a
+}

@@ -1,0 +1,68 @@
+package eib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/energy"
+)
+
+// The paper computes the Energy Information Base offline from the device's
+// parameterized energy model and ships it to the phone (§3.3). This file
+// provides the corresponding persistence: a generated Table serializes to
+// JSON and loads back without re-running the threshold search.
+
+// tableJSON is the serialized form.
+type tableJSON struct {
+	// Device is the profile name the table was generated for.
+	Device  string  `json:"device"`
+	Config  Config  `json:"config"`
+	Entries []Entry `json:"entries"`
+}
+
+// Save writes the table as JSON.
+func (t *Table) Save(w io.Writer) error {
+	name := ""
+	if t.Device != nil {
+		name = t.Device.Name
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tableJSON{Device: name, Config: t.Config, Entries: t.Entries}); err != nil {
+		return fmt.Errorf("eib: save: %w", err)
+	}
+	return nil
+}
+
+// knownProfiles resolves serialized device names back to profiles.
+var knownProfiles = map[string]func() *energy.DeviceProfile{
+	energy.GalaxyS3().Name: energy.GalaxyS3,
+	energy.Nexus5().Name:   energy.Nexus5,
+}
+
+// Load reads a table saved with Save. The device profile is re-linked by
+// name when it is one of the built-in profiles and left nil otherwise —
+// lookup and decisions work either way, since the thresholds are baked in.
+func Load(r io.Reader) (*Table, error) {
+	var tj tableJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tj); err != nil {
+		return nil, fmt.Errorf("eib: load: %w", err)
+	}
+	if len(tj.Entries) == 0 {
+		return nil, fmt.Errorf("eib: load: table has no entries")
+	}
+	prev := tj.Entries[0].LTE
+	for _, e := range tj.Entries[1:] {
+		if e.LTE <= prev {
+			return nil, fmt.Errorf("eib: load: entries not sorted by LTE throughput")
+		}
+		prev = e.LTE
+	}
+	t := &Table{Config: tj.Config, Entries: tj.Entries}
+	if mk, ok := knownProfiles[tj.Device]; ok {
+		t.Device = mk()
+	}
+	return t, nil
+}

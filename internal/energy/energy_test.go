@@ -1,0 +1,261 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestInterfaceString(t *testing.T) {
+	if WiFi.String() != "WiFi" || Cell3G.String() != "3G" || LTE.String() != "LTE" {
+		t.Error("interface names wrong")
+	}
+	if Interface(9).String() != "Interface(9)" {
+		t.Error("unknown interface name wrong")
+	}
+}
+
+func TestIsCellular(t *testing.T) {
+	if WiFi.IsCellular() {
+		t.Error("WiFi should not be cellular")
+	}
+	if !LTE.IsCellular() || !Cell3G.IsCellular() {
+		t.Error("LTE/3G should be cellular")
+	}
+}
+
+// Figure 1: fixed energy overheads. WiFi is negligible (0.15/0.06 J), 3G
+// around 7–8 J, LTE around 11–13 J, with the Nexus 5 slightly below the
+// Galaxy S3.
+func TestFig1FixedOverheads(t *testing.T) {
+	for _, d := range []*DeviceProfile{GalaxyS3(), Nexus5()} {
+		wifi := d.Radios[WiFi].FixedOverhead().Joules()
+		g3 := d.Radios[Cell3G].FixedOverhead().Joules()
+		lte := d.Radios[LTE].FixedOverhead().Joules()
+		if wifi > 0.5 {
+			t.Errorf("%s: WiFi fixed overhead %v J, want negligible", d.Name, wifi)
+		}
+		if g3 < 5 || g3 > 10 {
+			t.Errorf("%s: 3G fixed overhead %v J, want 5–10", d.Name, g3)
+		}
+		if lte < 10 || lte > 14 {
+			t.Errorf("%s: LTE fixed overhead %v J, want 10–14", d.Name, lte)
+		}
+		if !(wifi < g3 && g3 < lte) {
+			t.Errorf("%s: overhead ordering violated: wifi=%v 3g=%v lte=%v", d.Name, wifi, g3, lte)
+		}
+	}
+	s3, n5 := GalaxyS3(), Nexus5()
+	if n5.Radios[LTE].FixedOverhead() >= s3.Radios[LTE].FixedOverhead() {
+		t.Error("Nexus 5 LTE overhead should be below Galaxy S3 (Figure 1)")
+	}
+	if n5.Radios[WiFi].FixedOverhead() >= s3.Radios[WiFi].FixedOverhead() {
+		t.Error("Nexus 5 WiFi overhead should be below Galaxy S3 (Figure 1)")
+	}
+}
+
+func TestActivePowerLinear(t *testing.T) {
+	p := GalaxyS3().Radios[LTE]
+	base := p.ActivePower(0, 0)
+	if base != p.Base {
+		t.Errorf("zero-throughput active power = %v, want base %v", base, p.Base)
+	}
+	at10 := p.ActivePower(units.MbpsRate(10), 0)
+	want := p.Base + 10*p.PerMbpsDown
+	if math.Abs(float64(at10-want)) > 1e-12 {
+		t.Errorf("active power at 10 Mbps = %v, want %v", at10, want)
+	}
+	withUp := p.ActivePower(units.MbpsRate(10), units.MbpsRate(1))
+	if withUp <= at10 {
+		t.Error("uplink throughput should add power")
+	}
+}
+
+func TestSteadyPowerCountsDeviceBaseOnce(t *testing.T) {
+	d := GalaxyS3()
+	w := units.MbpsRate(5)
+	l := units.MbpsRate(5)
+	pw := d.SteadyPower(WiFiOnly, w, l)
+	pl := d.SteadyPower(LTEOnly, w, l)
+	pb := d.SteadyPower(Both, w, l)
+	// P(both) = P(wifi) + P(lte) − DeviceBase.
+	want := pw + pl - d.DeviceBase
+	if math.Abs(float64(pb-want)) > 1e-12 {
+		t.Errorf("both-power = %v, want %v (device base counted once)", pb, want)
+	}
+}
+
+func TestPerByteEnergyDecreasesWithThroughput(t *testing.T) {
+	d := GalaxyS3()
+	prev := math.Inf(1)
+	for mbps := 1.0; mbps <= 20; mbps++ {
+		e := d.PerByteEnergy(WiFiOnly, units.MbpsRate(mbps), 0)
+		if e >= prev {
+			t.Fatalf("per-byte energy not decreasing at %v Mbps: %v >= %v", mbps, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestPerByteEnergyInfAtZero(t *testing.T) {
+	d := GalaxyS3()
+	if !math.IsInf(d.PerByteEnergy(WiFiOnly, 0, units.MbpsRate(5)), 1) {
+		t.Error("zero aggregate throughput should give +Inf per byte")
+	}
+}
+
+// Table 2 calibration: the V-shaped region exists. At an LTE throughput of
+// 1 Mbps the paper's EIB says: WiFi < 0.134 Mbps → LTE only; WiFi ≥ 0.502
+// → WiFi only; in between → both. Verify our model reproduces that
+// structure with thresholds in the same neighbourhood.
+func TestTable2Thresholds(t *testing.T) {
+	d := GalaxyS3()
+	lte := units.MbpsRate(1)
+	perByte := func(ps PathSet, wifiMbps float64) float64 {
+		return d.PerByteEnergy(ps, units.MbpsRate(wifiMbps), lte)
+	}
+	// Well below the LTE-only threshold, LTE-only must win.
+	if !(perByte(LTEOnly, 0.05) < perByte(Both, 0.05) && perByte(LTEOnly, 0.05) < perByte(WiFiOnly, 0.05)) {
+		t.Error("at WiFi=0.05, LTE-only should be most efficient")
+	}
+	// In the V (e.g. 0.3 Mbps), both must win.
+	if !(perByte(Both, 0.3) < perByte(WiFiOnly, 0.3) && perByte(Both, 0.3) < perByte(LTEOnly, 0.3)) {
+		t.Error("at WiFi=0.3, both should be most efficient")
+	}
+	// Well above the WiFi-only threshold, WiFi-only must win.
+	if !(perByte(WiFiOnly, 2) < perByte(Both, 2) && perByte(WiFiOnly, 2) < perByte(LTEOnly, 2)) {
+		t.Error("at WiFi=2, WiFi-only should be most efficient")
+	}
+}
+
+func TestBestSinglePath(t *testing.T) {
+	d := GalaxyS3()
+	ps, _ := d.BestSinglePath(units.MbpsRate(10), units.MbpsRate(1))
+	if ps != WiFiOnly {
+		t.Errorf("fast WiFi vs slow LTE: best single = %v, want WiFi-only", ps)
+	}
+	ps, _ = d.BestSinglePath(units.MbpsRate(0.1), units.MbpsRate(10))
+	if ps != LTEOnly {
+		t.Errorf("slow WiFi vs fast LTE: best single = %v, want LTE-only", ps)
+	}
+}
+
+// Figure 4's key property: for small transfers the LTE fixed overheads
+// make MPTCP (both) lose to WiFi-only even at throughputs where the
+// steady-state model says both is best; for large transfers the overhead
+// amortizes away.
+func TestTransferEnergyFixedCostAmortization(t *testing.T) {
+	d := GalaxyS3()
+	wifi := units.MbpsRate(0.8)
+	lte := units.MbpsRate(4)
+	// Steady state says both beats WiFi-only here.
+	if !(d.PerByteEnergy(Both, wifi, lte) < d.PerByteEnergy(WiFiOnly, wifi, lte)) {
+		t.Fatal("test setup: steady state should favour both")
+	}
+	small := d.TransferEnergy(Both, 256*units.KB, wifi, lte)
+	smallW := d.TransferEnergy(WiFiOnly, 256*units.KB, wifi, lte)
+	if small < smallW {
+		t.Errorf("256 KB: both (%v) should lose to WiFi-only (%v) due to fixed costs", small, smallW)
+	}
+	big := d.TransferEnergy(Both, 64*units.MB, wifi, lte)
+	bigW := d.TransferEnergy(WiFiOnly, 64*units.MB, wifi, lte)
+	if big >= bigW {
+		t.Errorf("64 MB: both (%v) should beat WiFi-only (%v)", big, bigW)
+	}
+}
+
+func TestTransferEnergyZeroThroughput(t *testing.T) {
+	d := GalaxyS3()
+	if !math.IsInf(float64(d.TransferEnergy(WiFiOnly, units.MB, 0, 0)), 1) {
+		t.Error("zero throughput transfer should cost +Inf")
+	}
+}
+
+func TestPathSetString(t *testing.T) {
+	if WiFiOnly.String() != "WiFi-only" || LTEOnly.String() != "LTE-only" || Both.String() != "Both" {
+		t.Error("path set names wrong")
+	}
+	if (PathSet{}).String() != "None" {
+		t.Error("empty path set name wrong")
+	}
+}
+
+// Property: within the paper's evaluated throughput range (Figures 3 and
+// 14 go up to ~10–25 Mbps on WiFi, ≤15 Mbps on LTE), increasing WiFi
+// throughput never increases per-byte energy for path sets that use WiFi.
+// (Outside that range the model correctly predicts a reversal for "Both":
+// at extreme LTE rates, adding slow WiFi bytes costs more marginal power
+// than the bytes are worth.)
+func TestPerByteMonotoneProperty(t *testing.T) {
+	d := GalaxyS3()
+	f := func(w1Raw, w2Raw, lRaw uint8) bool {
+		w1 := float64(w1Raw)/10 + 0.1
+		w2 := float64(w2Raw)/10 + 0.1
+		l := float64(lRaw%150)/10 + 0.1 // ≤ 15.1 Mbps
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		for _, ps := range []PathSet{WiFiOnly, Both} {
+			e1 := d.PerByteEnergy(ps, units.MbpsRate(w1), units.MbpsRate(l))
+			e2 := d.PerByteEnergy(ps, units.MbpsRate(w2), units.MbpsRate(l))
+			if e2 > e1+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer energy is additive-ish in size: E(2s) < 2*E(s) since
+// fixed overheads are charged once (strict subadditivity).
+func TestTransferEnergySubadditiveProperty(t *testing.T) {
+	d := GalaxyS3()
+	f := func(sizeRaw uint16, wRaw, lRaw uint8) bool {
+		size := units.ByteSize(sizeRaw+1) * units.KB
+		w := units.MbpsRate(float64(wRaw)/10 + 0.1)
+		l := units.MbpsRate(float64(lRaw)/10 + 0.1)
+		e1 := d.TransferEnergy(Both, size, w, l)
+		e2 := d.TransferEnergy(Both, 2*size, w, l)
+		return float64(e2) < 2*float64(e1)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithCellular3G(t *testing.T) {
+	d := GalaxyS3()
+	g := d.WithCellular3G()
+	if g.Radios[LTE] != d.Radios[Cell3G] {
+		t.Error("3G params not installed in the cellular slot")
+	}
+	// The original is untouched.
+	if d.Radios[LTE].Base == d.Radios[Cell3G].Base {
+		t.Error("original profile mutated")
+	}
+	if g.Radios[LTE].FixedOverhead() >= d.Radios[LTE].FixedOverhead() {
+		t.Error("3G fixed overhead should be below LTE's (Figure 1)")
+	}
+}
+
+func TestPerByteEnergyDirUplink(t *testing.T) {
+	d := GalaxyS3()
+	w, l := units.MbpsRate(3), units.MbpsRate(4.5)
+	down := d.PerByteEnergyDir(Both, w, l, false)
+	up := d.PerByteEnergyDir(Both, w, l, true)
+	if up <= down {
+		t.Errorf("uplink per-byte (%v) should exceed downlink (%v)", up, down)
+	}
+	// The downlink path must agree with PerByteEnergy.
+	if got := d.PerByteEnergyDir(WiFiOnly, w, l, false); got != d.PerByteEnergy(WiFiOnly, w, l) {
+		t.Error("PerByteEnergyDir(down) disagrees with PerByteEnergy")
+	}
+	if !math.IsInf(d.PerByteEnergyDir(Both, 0, 0, true), 1) {
+		t.Error("zero throughput uplink should be +Inf")
+	}
+}

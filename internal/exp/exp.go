@@ -1,0 +1,167 @@
+// Package exp is the experiment harness: one runner per table and figure
+// in the paper's evaluation, each regenerating the same rows or series the
+// paper reports (shape, not absolute testbed numbers). The per-experiment
+// index lives in DESIGN.md §3; measured-vs-paper results are recorded in
+// EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Device is the handset model; nil selects the Galaxy S3, the
+	// paper's primary device.
+	Device *energy.DeviceProfile
+	// BaseSeed offsets all run seeds, for re-running with fresh draws.
+	BaseSeed int64
+	// Quick shrinks transfer sizes and repetition counts (~10x) so the
+	// whole suite can run in benchmark loops; headline shapes persist.
+	Quick bool
+}
+
+func (c Config) device() *energy.DeviceProfile {
+	if c.Device != nil {
+		return c.Device
+	}
+	return energy.GalaxyS3()
+}
+
+// runs scales a repetition count down in Quick mode (minimum 2 so SEM is
+// defined).
+func (c Config) runs(full int) int {
+	if !c.Quick {
+		return full
+	}
+	n := full / 3
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// scaleMB shrinks a transfer size (in MB) in Quick mode.
+func (c Config) scaleMB(mb float64) float64 {
+	if !c.Quick {
+		return mb
+	}
+	s := mb / 8
+	if s < 0.25 {
+		s = 0.25
+	}
+	return s
+}
+
+// Output is what an experiment produces.
+type Output struct {
+	Tables []*report.Table
+	// Series holds named traces for the trace figures; Order lists their
+	// display order.
+	Series map[string]*stats.TimeSeries
+	Order  []string
+	// Notes carry prose observations printed after the tables.
+	Notes []string
+	// Metrics expose headline numbers for EXPERIMENTS.md and tests.
+	Metrics map[string]float64
+}
+
+func newOutput() *Output {
+	return &Output{Series: map[string]*stats.TimeSeries{}, Metrics: map[string]float64{}}
+}
+
+func (o *Output) addSeries(name string, ts *stats.TimeSeries) {
+	if ts == nil {
+		return
+	}
+	o.Series[name] = ts
+	o.Order = append(o.Order, name)
+}
+
+// CSV renders the output's tables as CSV blocks (titles as comments),
+// skipping traces and notes.
+func (o *Output) CSV() string {
+	s := ""
+	for _, t := range o.Tables {
+		if t.Title != "" {
+			s += "# " + t.Title + "\n"
+		}
+		s += t.CSV() + "\n"
+	}
+	return s
+}
+
+// String renders the whole output.
+func (o *Output) String() string {
+	s := ""
+	for _, t := range o.Tables {
+		s += t.String() + "\n"
+	}
+	if len(o.Order) > 0 {
+		s += report.SeriesBlock("traces:", o.Order, o.Series, 72) + "\n"
+	}
+	for _, n := range o.Notes {
+		s += "note: " + n + "\n"
+	}
+	if len(o.Metrics) > 0 {
+		keys := make([]string, 0, len(o.Metrics))
+		for k := range o.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s += "metrics:\n"
+		for _, k := range keys {
+			s += fmt.Sprintf("  %-44s %s\n", k, report.FormatFloat(o.Metrics[k]))
+		}
+	}
+	return s
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the paper's label: "fig5", "table2", "sec46", ...
+	ID string
+	// Title describes what the experiment shows.
+	Title string
+	// Paper summarizes the result the paper reports, for side-by-side
+	// comparison.
+	Paper string
+	// Run executes the experiment.
+	Run func(cfg Config) *Output
+}
+
+// registry holds all experiments in paper order.
+var registry []*Experiment
+
+func register(e *Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in paper order.
+func All() []*Experiment {
+	out := make([]*Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID returns the experiment with the given ID, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range registry {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// IDs lists all experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}

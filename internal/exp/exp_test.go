@@ -1,0 +1,421 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick(t *testing.T, id string) *Output {
+	t.Helper()
+	e := ByID(id)
+	if e == nil {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	return e.Run(Config{Quick: true})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "table1", "fig3", "table2", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "sec46",
+		"fig14", "fig15", "fig16", "fig17"}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID of unknown id should be nil")
+	}
+	if len(All()) != len(ids) {
+		t.Error("All() and IDs() disagree")
+	}
+}
+
+func TestEveryExperimentHasMetadata(t *testing.T) {
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %+v missing metadata", e.ID)
+		}
+	}
+}
+
+func TestFig1(t *testing.T) {
+	out := quick(t, "fig1")
+	if out.Metrics["s3_lte_J"] < 10 || out.Metrics["s3_lte_J"] > 14 {
+		t.Errorf("S3 LTE overhead = %v, want 10–14 J", out.Metrics["s3_lte_J"])
+	}
+	if out.Metrics["n5_lte_J"] >= out.Metrics["s3_lte_J"] {
+		t.Error("Nexus 5 should be below Galaxy S3")
+	}
+	if out.Metrics["s3_wifi_J"] > 0.5 {
+		t.Error("WiFi overhead should be negligible")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := quick(t, "table1")
+	s := out.String()
+	for _, want := range []string{"MSM8960", "KitKat", "BCM4339"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out := quick(t, "fig3")
+	frac := out.Metrics["mptcp_best_fraction"]
+	if frac <= 0.02 || frac >= 0.9 {
+		t.Errorf("MPTCP-best fraction = %v, want a real V region", frac)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := quick(t, "table2")
+	for _, lte := range []string{"0.5", "1.0", "1.5", "2.0"} {
+		key := "t2_err_pct_lte" + lte
+		if err, ok := out.Metrics[key]; !ok {
+			t.Errorf("missing %s", key)
+		} else if err > 15 || err < -15 {
+			t.Errorf("%s = %v%%, want within ±15%%", key, err)
+		}
+	}
+}
+
+func TestFig4(t *testing.T) {
+	out := quick(t, "fig4")
+	a1, a4, a16 := out.Metrics["area_1MB"], out.Metrics["area_4MB"], out.Metrics["area_16MB"]
+	if !(a1 < a4 && a4 < a16) {
+		t.Errorf("operating region areas %v < %v < %v violated", a1, a4, a16)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	out := quick(t, "fig5")
+	// eMPTCP ≈ TCP/WiFi and well below MPTCP.
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v > 90 {
+		t.Errorf("good WiFi: eMPTCP at %v%% of MPTCP energy, want well below", v)
+	}
+	if v := out.Metrics["emptcp_energy_vs_tcpwifi_pct"]; v < 85 || v > 115 {
+		t.Errorf("good WiFi: eMPTCP at %v%% of TCP/WiFi energy, want ≈100%%", v)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out := quick(t, "fig6")
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v < 75 || v > 125 {
+		t.Errorf("bad WiFi: eMPTCP at %v%% of MPTCP energy, want ≈100%%", v)
+	}
+	// TCP/WiFi is several times slower: eMPTCP time far below it.
+	if v := out.Metrics["emptcp_time_vs_tcpwifi_pct"]; v > 50 {
+		t.Errorf("bad WiFi: eMPTCP time at %v%% of TCP/WiFi, want much faster", v)
+	}
+}
+
+func TestFig7TracesPresent(t *testing.T) {
+	out := quick(t, "fig7")
+	if len(out.Order) < 3 {
+		t.Fatalf("expected energy traces for three protocols, got %v", out.Order)
+	}
+	for name, ts := range out.Series {
+		if ts.Len() == 0 {
+			t.Errorf("series %q is empty", name)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out := quick(t, "fig8")
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v >= 100 {
+		t.Errorf("random bandwidth: eMPTCP at %v%% of MPTCP energy, want <100%%", v)
+	}
+	if v := out.Metrics["emptcp_time_vs_mptcp_pct"]; v <= 100 {
+		t.Errorf("random bandwidth: eMPTCP time at %v%% of MPTCP, want >100%%", v)
+	}
+	if v := out.Metrics["emptcp_time_vs_tcpwifi_pct"]; v >= 100 {
+		t.Errorf("random bandwidth: eMPTCP time at %v%% of TCP/WiFi, want <100%%", v)
+	}
+}
+
+func TestFig9LTEActivity(t *testing.T) {
+	out := quick(t, "fig9")
+	em := out.Metrics["lte_active_frac_eMPTCP"]
+	mp := out.Metrics["lte_active_frac_MPTCP"]
+	if em >= mp {
+		t.Errorf("eMPTCP LTE-active fraction (%v) should be below MPTCP's (%v)", em, mp)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out := quick(t, "fig10")
+	for key, v := range out.Metrics {
+		if strings.HasPrefix(key, "emptcp_energy_pct_") && (v < 60 || v >= 105) {
+			t.Errorf("%s = %v%%, want below ~100%%", key, v)
+		}
+		if strings.HasPrefix(key, "emptcp_time_pct_") && v < 95 {
+			t.Errorf("%s = %v%%, expected ≥ MPTCP's time", key, v)
+		}
+	}
+}
+
+func TestFig12(t *testing.T) {
+	out := quick(t, "fig12")
+	if len(out.Order) < 3 {
+		t.Fatalf("expected traces, got %v", out.Order)
+	}
+	if out.Metrics["emptcp_switches"] < 1 {
+		t.Error("eMPTCP should switch path sets at least once on the route")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	out := quick(t, "fig13")
+	if v := out.Metrics["emptcp_jpb_vs_mptcp_pct"]; v >= 100 {
+		t.Errorf("mobility: eMPTCP J/B at %v%% of MPTCP, want <100%%", v)
+	}
+	if v := out.Metrics["emptcp_down_vs_mptcp_pct"]; v >= 100 {
+		t.Errorf("mobility: eMPTCP downloads %v%% of MPTCP, want <100%%", v)
+	}
+	if v := out.Metrics["emptcp_down_vs_tcpwifi_pct"]; v <= 100 {
+		t.Errorf("mobility: eMPTCP downloads %v%% of TCP/WiFi, want >100%%", v)
+	}
+	if v := out.Metrics["emptcp_jpb_vs_tcpwifi_pct"]; v <= 100 {
+		t.Errorf("mobility: eMPTCP J/B at %v%% of TCP/WiFi, want >100%% (TCP/WiFi wins per byte)", v)
+	}
+}
+
+func TestSec46(t *testing.T) {
+	out := quick(t, "sec46")
+	if out.Metrics["mdp_always_wifi_only"] != 1 {
+		t.Error("MDP policy should degenerate to WiFi-only")
+	}
+	if v := out.Metrics["emptcp_down_vs_wififirst_pct"]; v <= 100 {
+		t.Errorf("eMPTCP should download more than WiFi-First on the route; got %v%%", v)
+	}
+	if v := out.Metrics["wififirst_time_vs_tcpwifi_pct"]; v < 90 || v > 110 {
+		t.Errorf("WiFi-First time at %v%% of TCP/WiFi on static bad WiFi, want ≈100%%", v)
+	}
+}
+
+func TestFig14(t *testing.T) {
+	out := quick(t, "fig14")
+	if v := out.Metrics["category_agreement_frac"]; v < 0.99 {
+		t.Errorf("category agreement = %v, want ≈1 (draws define categories)", v)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	out := quick(t, "fig15")
+	for _, cat := range []string{"bb", "bg", "gb", "gg"} {
+		key := "fig15_emptcp_energy_pct_" + cat
+		v, ok := out.Metrics[key]
+		if !ok {
+			t.Fatalf("missing %s", key)
+		}
+		// Paper: 75–90% reduction → eMPTCP at 10–25% of MPTCP. Allow a
+		// wide band; must at least halve it.
+		if v > 50 {
+			t.Errorf("%s = %v%%, want ≤ 50%% (paper: 10–25%%)", key, v)
+		}
+	}
+}
+
+func TestFig16(t *testing.T) {
+	out := quick(t, "fig16")
+	// Good-WiFi categories: roughly half of MPTCP's energy.
+	for _, cat := range []string{"gb", "gg"} {
+		if v := out.Metrics["fig16_emptcp_energy_pct_"+cat]; v > 80 {
+			t.Errorf("good-WiFi %s: eMPTCP at %v%% of MPTCP, want ≈50%%", cat, v)
+		}
+	}
+	// Bad-Bad: eMPTCP should not exceed MPTCP.
+	if v := out.Metrics["fig16_emptcp_energy_pct_bb"]; v > 105 {
+		t.Errorf("bad-bad: eMPTCP at %v%% of MPTCP energy, want ≤ 100%%", v)
+	}
+	// Bad-Good: similar energy to MPTCP.
+	if v := out.Metrics["fig16_emptcp_energy_pct_bg"]; v < 60 || v > 140 {
+		t.Errorf("bad-good: eMPTCP at %v%% of MPTCP energy, want ≈100%%", v)
+	}
+}
+
+func TestFig17(t *testing.T) {
+	out := quick(t, "fig17")
+	if v := out.Metrics["mptcp_energy_vs_emptcp_pct"]; v < 125 {
+		t.Errorf("web: MPTCP at %v%% of eMPTCP's energy, want well above 100%% (paper ~160%%)", v)
+	}
+	if v := out.Metrics["emptcp_latency_vs_mptcp_pct"]; v > 150 {
+		t.Errorf("web: eMPTCP latency at %v%% of MPTCP, want similar", v)
+	}
+}
+
+func TestOutputRendering(t *testing.T) {
+	out := quick(t, "fig1")
+	s := out.String()
+	if !strings.Contains(s, "Figure 1") || !strings.Contains(s, "metrics:") {
+		t.Errorf("rendered output missing sections:\n%s", s)
+	}
+}
+
+func TestExtStreaming(t *testing.T) {
+	out := quick(t, "ext-streaming")
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v > 75 {
+		t.Errorf("streaming: eMPTCP at %v%% of MPTCP energy, want well below (tail drain)", v)
+	}
+}
+
+func TestExtUpload(t *testing.T) {
+	out := quick(t, "ext-upload")
+	for _, p := range []string{"MPTCP", "eMPTCP", "TCP over WiFi", "TCP over LTE"} {
+		v, ok := out.Metrics["upload_premium_pct_"+p]
+		if !ok {
+			t.Fatalf("missing premium for %s", p)
+		}
+		if v <= 105 {
+			t.Errorf("%s upload premium = %v%%, want uploads clearly costlier", p, v)
+		}
+	}
+}
+
+func TestExtDevices(t *testing.T) {
+	out := quick(t, "ext-devices")
+	if out.Metrics["emptcp_energy_J_n5"] >= out.Metrics["emptcp_energy_J_s3"] {
+		t.Error("Nexus 5 should consume less than Galaxy S3")
+	}
+}
+
+func TestExtPredictor(t *testing.T) {
+	out := quick(t, "ext-predictor")
+	if v := out.Metrics["hw_over_lastvalue_mobili"]; v >= 1.0 {
+		t.Errorf("Holt-Winters MAE ratio on mobility trace = %v, want < 1 (beats last-value)", v)
+	}
+}
+
+func TestExt3G(t *testing.T) {
+	out := quick(t, "ext-3g")
+	lte, ok1 := out.Metrics["emptcp_energy_J_LTE"]
+	g3, ok2 := out.Metrics["emptcp_energy_J_3G"]
+	if !ok1 || !ok2 {
+		t.Fatal("missing 3G/LTE metrics")
+	}
+	if lte <= 0 || g3 <= 0 {
+		t.Errorf("non-positive energies: lte=%v 3g=%v", lte, g3)
+	}
+}
+
+func TestOutputCSV(t *testing.T) {
+	out := quick(t, "fig1")
+	s := out.CSV()
+	if !strings.Contains(s, "# Figure 1") || !strings.Contains(s, "Device,WiFi,3G,LTE") {
+		t.Errorf("CSV rendering wrong:\n%s", s)
+	}
+}
+
+func TestExtMultiAP(t *testing.T) {
+	out := quick(t, "ext-multiap")
+	if out.Metrics["emptcp_lteJ_multi"] >= out.Metrics["emptcp_lteJ_single"] {
+		t.Errorf("multi-AP LTE energy (%v) should be below single-AP (%v)",
+			out.Metrics["emptcp_lteJ_multi"], out.Metrics["emptcp_lteJ_single"])
+	}
+}
+
+func TestFig11(t *testing.T) {
+	out := quick(t, "fig11")
+	if d := out.Metrics["route_duration_s"]; d < 180 || d > 320 {
+		t.Errorf("route duration = %v, want ~250 s", d)
+	}
+	if o := out.Metrics["out_of_range_s"]; o < 20 || o > 180 {
+		t.Errorf("out-of-range time = %v s, want a meaningful but minority share", o)
+	}
+	if len(out.Notes) == 0 || !strings.Contains(out.Notes[0], "#") {
+		t.Error("route map missing the AP marker")
+	}
+}
+
+func TestExtSweep(t *testing.T) {
+	out := quick(t, "ext-sweep")
+	// Tiny κ must cost more energy on small files than the paper's 1 MB.
+	small := out.Metrics["energy_J_kappa64KB"]
+	paper := out.Metrics["energy_J_kappa1024KB"]
+	if small <= paper {
+		t.Errorf("κ=64KB energy (%v) should exceed κ=1MB (%v) on 256 KB files", small, paper)
+	}
+	// Larger τ waits longer on bad WiFi before the LTE rescue.
+	if out.Metrics["completion_s_tau12"] <= out.Metrics["completion_s_tau1"] {
+		t.Errorf("τ=12 completion (%v) should exceed τ=1 (%v)",
+			out.Metrics["completion_s_tau12"], out.Metrics["completion_s_tau1"])
+	}
+}
+
+// Full-size regression guards: the quick-mode tests above run always; the
+// full-size checks below catch calibration drift against the committed
+// EXPERIMENTS.md numbers and are skipped under -short.
+func TestFig5FullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out := ByID("fig5").Run(Config{})
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v < 55 || v > 80 {
+		t.Errorf("full fig5: eMPTCP at %v%% of MPTCP energy, committed value ≈ 67%%", v)
+	}
+}
+
+func TestFig8FullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out := ByID("fig8").Run(Config{})
+	if v := out.Metrics["emptcp_energy_vs_mptcp_pct"]; v < 80 || v >= 100 {
+		t.Errorf("full fig8: eMPTCP at %v%% of MPTCP energy, committed ≈ 90%% (paper 92%%)", v)
+	}
+	if v := out.Metrics["emptcp_time_vs_mptcp_pct"]; v < 105 || v > 145 {
+		t.Errorf("full fig8: eMPTCP time at %v%% of MPTCP, committed ≈ 121%% (paper 122%%)", v)
+	}
+}
+
+func TestFig13FullSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size experiment")
+	}
+	out := ByID("fig13").Run(Config{})
+	if v := out.Metrics["emptcp_jpb_vs_mptcp_pct"]; v < 70 || v >= 100 {
+		t.Errorf("full fig13: eMPTCP J/B at %v%% of MPTCP, committed ≈ 84%% (paper 78%%)", v)
+	}
+}
+
+func TestExtHOL(t *testing.T) {
+	out := quick(t, "ext-hol")
+	unl := out.Metrics["completion_s_unlimited"]
+	// The worst case is a buffer big enough to admit slow-path chunks but
+	// too small to ride out their RTT (256 KB here); a starved 64 KB
+	// buffer degenerates toward WiFi-only, which is slower than unlimited
+	// but less bad.
+	mid := out.Metrics["completion_s_256.0 KB"]
+	if mid < unl*1.3 {
+		t.Errorf("256 KB buffer (%v s) should be much slower than unlimited (%v s)", mid, unl)
+	}
+	tiny := out.Metrics["completion_s_64.0 KB"]
+	if tiny < unl*1.1 {
+		t.Errorf("64 KB buffer (%v s) should still lag unlimited (%v s)", tiny, unl)
+	}
+	big := out.Metrics["completion_s_8.0 MB"]
+	if big > unl*1.25 {
+		t.Errorf("8 MB buffer (%v s) should approach unlimited (%v s)", big, unl)
+	}
+}
+
+func TestExtBattery(t *testing.T) {
+	out := quick(t, "ext-battery")
+	mp := out.Metrics["battery_pct_MPTCP"]
+	em := out.Metrics["battery_pct_eMPTCP"]
+	if em >= mp {
+		t.Errorf("eMPTCP daily battery share (%v%%) should be below MPTCP's (%v%%)", em, mp)
+	}
+	if mp <= 0 || mp > 50 {
+		t.Errorf("MPTCP daily share = %v%%, want a plausible fraction", mp)
+	}
+}

@@ -1,0 +1,306 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "Static good WiFi (>10 Mbps): energy and download time, 256 MB",
+		Paper: "eMPTCP ≈ TCP over WiFi; MPTCP fastest but highest energy",
+		Run:   runFig5,
+	})
+	register(&Experiment{
+		ID:    "fig6",
+		Title: "Static bad WiFi (<1 Mbps): energy and download time, 256 MB",
+		Paper: "eMPTCP ≈ MPTCP; TCP over WiFi takes many times longer",
+		Run:   runFig6,
+	})
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Accumulated energy with random WiFi bandwidth changes (single trace)",
+		Paper: "eMPTCP suspends LTE on good WiFi: ~20% less energy than MPTCP, ~40% more time; beats TCP/WiFi on both",
+		Run:   runFig7,
+	})
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Random WiFi bandwidth changes: mean ± SEM over 10 runs",
+		Paper: "eMPTCP ~8% less energy than MPTCP and ~6% less than TCP/WiFi; ~22% slower than MPTCP, ~2x faster than TCP/WiFi",
+		Run:   runFig8,
+	})
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Throughput traces with background traffic (n=2, λon=0.05, λoff=0.025)",
+		Paper: "eMPTCP suspends the LTE subflow when WiFi bandwidth is large; MPTCP keeps both",
+		Run:   runFig9,
+	})
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Background traffic: energy and time relative to MPTCP",
+		Paper: "eMPTCP 9–11% less energy than MPTCP at 20–40% more time; up to 70% faster than TCP/WiFi",
+		Run:   runFig10,
+	})
+	register(&Experiment{
+		ID:    "fig12",
+		Title: "Mobility: accumulated energy along the Figure 11 route (single trace)",
+		Paper: "eMPTCP's energy slope between TCP/WiFi's and MPTCP's; LTE used in short bad-WiFi periods",
+		Run:   runFig12,
+	})
+	register(&Experiment{
+		ID:    "fig13",
+		Title: "Mobility: per-byte energy and download amount over 250 s",
+		Paper: "eMPTCP ~22% lower J/B than MPTCP, ~25% less data; ~28% more data than TCP/WiFi at ~8% more J/B",
+		Run:   runFig13,
+	})
+	register(&Experiment{
+		ID:    "sec46",
+		Title: "Comparison with existing approaches: WiFi-First and the MDP scheduler",
+		Paper: "WiFi-First degenerates to TCP/WiFi while associated; MDP chooses WiFi-only everywhere; Single-Path mode reacts only to an interface going down",
+		Run:   runSec46,
+	})
+}
+
+// labProtos are the three protocols the lab figures compare.
+var labProtos = []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi}
+
+// series of per-protocol measurements.
+type measures struct {
+	energy []float64 // J
+	time   []float64 // s
+	jpb    []float64 // J/byte
+	downMB []float64 // MB
+}
+
+// collect runs each protocol `runs` times over the scenario.
+func collect(sc scenario.Scenario, protos []scenario.Protocol, runs int, baseSeed int64) map[scenario.Protocol]*measures {
+	out := map[scenario.Protocol]*measures{}
+	for _, p := range protos {
+		m := &measures{}
+		for i := 0; i < runs; i++ {
+			r := scenario.Run(sc, p, scenario.Opts{Seed: baseSeed + int64(i)})
+			m.energy = append(m.energy, r.Energy.Joules())
+			m.time = append(m.time, r.CompletionTime)
+			m.jpb = append(m.jpb, r.JPerByte)
+			m.downMB = append(m.downMB, r.Downloaded.Megabytes())
+		}
+		out[p] = m
+	}
+	return out
+}
+
+// energyTimeTable renders the standard per-protocol energy/time table.
+func energyTimeTable(title string, ms map[scenario.Protocol]*measures, protos []scenario.Protocol) *report.Table {
+	t := report.NewTable(title, "Protocol", "Energy (J, mean ± SEM)", "Download time (s, mean ± SEM)")
+	for _, p := range protos {
+		m := ms[p]
+		t.Add(p.String(), report.MeanSEM(stats.Summarize(m.energy)), report.MeanSEM(stats.Summarize(m.time)))
+	}
+	return t
+}
+
+func ratioMetrics(out *Output, ms map[scenario.Protocol]*measures) {
+	mp := ms[scenario.MPTCP]
+	em := ms[scenario.EMPTCP]
+	tw := ms[scenario.TCPWiFi]
+	if mp == nil || em == nil {
+		return
+	}
+	out.Metrics["emptcp_energy_vs_mptcp_pct"] = stats.Ratio(stats.Mean(em.energy), stats.Mean(mp.energy))
+	out.Metrics["emptcp_time_vs_mptcp_pct"] = stats.Ratio(stats.Mean(em.time), stats.Mean(mp.time))
+	if tw != nil {
+		out.Metrics["emptcp_energy_vs_tcpwifi_pct"] = stats.Ratio(stats.Mean(em.energy), stats.Mean(tw.energy))
+		out.Metrics["emptcp_time_vs_tcpwifi_pct"] = stats.Ratio(stats.Mean(em.time), stats.Mean(tw.time))
+	}
+}
+
+func runFig5(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	ms := collect(scenario.StaticLab(cfg.device(), 12, 9, size), labProtos, cfg.runs(5), cfg.BaseSeed)
+	out.Tables = append(out.Tables, energyTimeTable("Figure 5 — static good WiFi", ms, labProtos))
+	ratioMetrics(out, ms)
+	return out
+}
+
+func runFig6(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	ms := collect(scenario.StaticLab(cfg.device(), 0.8, 9, size), labProtos, cfg.runs(5), cfg.BaseSeed)
+	out.Tables = append(out.Tables, energyTimeTable("Figure 6 — static bad WiFi", ms, labProtos))
+	ratioMetrics(out, ms)
+	return out
+}
+
+func runFig7(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	t := report.NewTable("Figure 7 — random WiFi bandwidth (single run)",
+		"Protocol", "Energy (J)", "Download time (s)")
+	for _, p := range labProtos {
+		r := scenario.Run(scenario.RandomBandwidth(cfg.device(), size), p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+		t.Addf(p.String(), r.Energy.Joules(), r.CompletionTime)
+		out.addSeries("energy "+p.String(), r.EnergyTrace)
+		if p == scenario.EMPTCP {
+			out.addSeries("WiFi throughput (Mbps)", r.ThroughputTrace[energy.WiFi])
+		}
+		out.Metrics["energy_"+p.String()] = r.Energy.Joules()
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runFig8(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	ms := collect(scenario.RandomBandwidth(cfg.device(), size), labProtos, cfg.runs(10), cfg.BaseSeed)
+	out.Tables = append(out.Tables, energyTimeTable("Figure 8 — random WiFi bandwidth changes", ms, labProtos))
+	ratioMetrics(out, ms)
+	return out
+}
+
+func runFig9(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	for _, p := range []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP} {
+		sc := scenario.BackgroundTraffic(cfg.device(), 2, 0.05, 0.025, size)
+		r := scenario.Run(sc, p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+		out.addSeries(p.String()+" WiFi (Mbps)", r.ThroughputTrace[energy.WiFi])
+		out.addSeries(p.String()+" LTE (Mbps)", r.ThroughputTrace[energy.LTE])
+		// Fraction of trace time the LTE subflow was moving data.
+		lte := r.ThroughputTrace[energy.LTE]
+		active := 0
+		for _, v := range lte.V {
+			if v > 0.1 {
+				active++
+			}
+		}
+		if lte.Len() > 0 {
+			out.Metrics["lte_active_frac_"+p.String()] = float64(active) / float64(lte.Len())
+		}
+	}
+	out.Notes = append(out.Notes,
+		"eMPTCP's LTE trace goes quiet whenever WiFi bandwidth is high; MPTCP's does not")
+	return out
+}
+
+func runFig10(cfg Config) *Output {
+	out := newOutput()
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
+	t := report.NewTable("Figure 10 — relative to MPTCP (100% = MPTCP; lower is better)",
+		"Setting", "Protocol", "Energy %", "Download time %")
+	type setting struct {
+		n         int
+		lambdaOff float64
+	}
+	for _, s := range []setting{{2, 0.025}, {3, 0.025}, {3, 0.05}} {
+		sc := scenario.BackgroundTraffic(cfg.device(), s.n, 0.05, s.lambdaOff, size)
+		ms := collect(sc, labProtos, cfg.runs(5), cfg.BaseSeed)
+		mpE := stats.Mean(ms[scenario.MPTCP].energy)
+		mpT := stats.Mean(ms[scenario.MPTCP].time)
+		label := fmt.Sprintf("λoff=%.3f, n=%d", s.lambdaOff, s.n)
+		for _, p := range []scenario.Protocol{scenario.EMPTCP, scenario.TCPWiFi} {
+			e := stats.Ratio(stats.Mean(ms[p].energy), mpE)
+			d := stats.Ratio(stats.Mean(ms[p].time), mpT)
+			t.Addf(label, p.String(), e, d)
+			if p == scenario.EMPTCP {
+				out.Metrics[fmt.Sprintf("emptcp_energy_pct_n%d_loff%.3f", s.n, s.lambdaOff)] = e
+				out.Metrics[fmt.Sprintf("emptcp_time_pct_n%d_loff%.3f", s.n, s.lambdaOff)] = d
+			}
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runFig12(cfg Config) *Output {
+	out := newOutput()
+	t := report.NewTable("Figure 12 — mobility trace (250 s)",
+		"Protocol", "Energy (J)", "Downloaded (MB)")
+	for _, p := range labProtos {
+		r := scenario.Run(scenario.Mobility(cfg.device()), p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+		t.Addf(p.String(), r.Energy.Joules(), r.Downloaded.Megabytes())
+		out.addSeries("energy "+p.String(), r.EnergyTrace)
+		if p == scenario.EMPTCP {
+			out.addSeries("WiFi throughput (Mbps)", r.ThroughputTrace[energy.WiFi])
+			out.Metrics["emptcp_switches"] = float64(r.Switches)
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runFig13(cfg Config) *Output {
+	out := newOutput()
+	ms := collect(scenario.Mobility(cfg.device()), labProtos, cfg.runs(5), cfg.BaseSeed)
+	t := report.NewTable("Figure 13 — mobility over 250 s",
+		"Protocol", "Energy per byte (µJ/B, mean ± SEM)", "Downloaded (MB, mean ± SEM)")
+	for _, p := range labProtos {
+		m := ms[p]
+		scaled := make([]float64, len(m.jpb))
+		for i, v := range m.jpb {
+			scaled[i] = v * 1e6
+		}
+		t.Add(p.String(), report.MeanSEM(stats.Summarize(scaled)), report.MeanSEM(stats.Summarize(m.downMB)))
+	}
+	out.Tables = append(out.Tables, t)
+	em, mp, tw := ms[scenario.EMPTCP], ms[scenario.MPTCP], ms[scenario.TCPWiFi]
+	out.Metrics["emptcp_jpb_vs_mptcp_pct"] = stats.Ratio(stats.Mean(em.jpb), stats.Mean(mp.jpb))
+	out.Metrics["emptcp_jpb_vs_tcpwifi_pct"] = stats.Ratio(stats.Mean(em.jpb), stats.Mean(tw.jpb))
+	out.Metrics["emptcp_down_vs_mptcp_pct"] = stats.Ratio(stats.Mean(em.downMB), stats.Mean(mp.downMB))
+	out.Metrics["emptcp_down_vs_tcpwifi_pct"] = stats.Ratio(stats.Mean(em.downMB), stats.Mean(tw.downMB))
+	return out
+}
+
+func runSec46(cfg Config) *Output {
+	out := newOutput()
+	// The MDP policy itself.
+	pol := baseline.GenerateMDP(baseline.DefaultMDPConfig(cfg.device()))
+	if pol.AlwaysWiFiOnly() {
+		out.Metrics["mdp_always_wifi_only"] = 1
+		out.Notes = append(out.Notes,
+			"generated MDP scheduler chooses WiFi-only in every throughput state (matches §4.6)")
+	} else {
+		out.Metrics["mdp_always_wifi_only"] = 0
+	}
+
+	protos := []scenario.Protocol{scenario.EMPTCP, scenario.WiFiFirst, scenario.SinglePath, scenario.MDP, scenario.TCPWiFi}
+	// Mobility: the setting where the strategies differ most.
+	ms := collect(scenario.Mobility(cfg.device()), protos, cfg.runs(3), cfg.BaseSeed)
+	t := report.NewTable("§4.6 — existing approaches on the mobility route (250 s)",
+		"Protocol", "Energy (J)", "Downloaded (MB)", "J/B (µJ)")
+	for _, p := range protos {
+		m := ms[p]
+		t.Addf(p.String(), stats.Mean(m.energy), stats.Mean(m.downMB), stats.Mean(m.jpb)*1e6)
+	}
+	out.Tables = append(out.Tables, t)
+	out.Metrics["emptcp_down_vs_wififirst_pct"] =
+		stats.Ratio(stats.Mean(ms[scenario.EMPTCP].downMB), stats.Mean(ms[scenario.WiFiFirst].downMB))
+	out.Metrics["mdp_down_vs_tcpwifi_pct"] =
+		stats.Ratio(stats.Mean(ms[scenario.MDP].downMB), stats.Mean(ms[scenario.TCPWiFi].downMB))
+	out.Metrics["emptcp_down_vs_singlepath_pct"] =
+		stats.Ratio(stats.Mean(ms[scenario.EMPTCP].downMB), stats.Mean(ms[scenario.SinglePath].downMB))
+
+	// Static bad WiFi: WiFi-First stays associated and degenerates.
+	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(64)) * units.MB}
+	ms2 := collect(scenario.StaticLab(cfg.device(), 0.8, 9, size),
+		[]scenario.Protocol{scenario.WiFiFirst, scenario.TCPWiFi, scenario.EMPTCP}, cfg.runs(3), cfg.BaseSeed)
+	t2 := report.NewTable("§4.6 — static bad WiFi (still associated)",
+		"Protocol", "Energy (J)", "Download time (s)")
+	for _, p := range []scenario.Protocol{scenario.WiFiFirst, scenario.TCPWiFi, scenario.EMPTCP} {
+		m := ms2[p]
+		t2.Addf(p.String(), stats.Mean(m.energy), stats.Mean(m.time))
+	}
+	out.Tables = append(out.Tables, t2)
+	out.Metrics["wififirst_time_vs_tcpwifi_pct"] =
+		stats.Ratio(stats.Mean(ms2[scenario.WiFiFirst].time), stats.Mean(ms2[scenario.TCPWiFi].time))
+	return out
+}

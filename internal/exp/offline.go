@@ -1,0 +1,241 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/eib"
+	"repro/internal/energy"
+	"repro/internal/phy"
+	"repro/internal/report"
+	"repro/internal/units"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig1",
+		Title: "Fixed energy cost: WiFi and cellular (promotion + tail + association)",
+		Paper: "WiFi ≈ 0.15/0.06 J, 3G ≈ 7–8 J, LTE ≈ 11.5–12.5 J; Nexus 5 slightly below Galaxy S3",
+		Run:   runFig1,
+	})
+	register(&Experiment{
+		ID:    "table1",
+		Title: "Mobile devices",
+		Paper: "Samsung Galaxy S3 and LG Nexus 5 specifications",
+		Run:   runTable1,
+	})
+	register(&Experiment{
+		ID:    "fig3",
+		Title: "Energy efficiency per downloaded byte relative to best single path (Galaxy S3)",
+		Paper: "grey-scale heat map with a V-shaped region where both interfaces are most efficient",
+		Run:   runFig3,
+	})
+	register(&Experiment{
+		ID:    "table2",
+		Title: "Energy Information Base example",
+		Paper: "LTE=1 Mbps row: LTE-only below 0.134, WiFi-only at/above 0.502 Mbps",
+		Run:   runTable2,
+	})
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "Operating region where MPTCP is most efficient for an entire transfer",
+		Paper: "region grows with download size: 1 MB ⊂ 4 MB ⊂ 16 MB",
+		Run:   runFig4,
+	})
+}
+
+func runFig1(cfg Config) *Output {
+	out := newOutput()
+	t := report.NewTable("Figure 1 — fixed energy overhead (J)",
+		"Device", "WiFi", "3G", "LTE")
+	for _, d := range []*energy.DeviceProfile{energy.GalaxyS3(), energy.Nexus5()} {
+		wifi := d.Radios[energy.WiFi].FixedOverhead().Joules()
+		g3 := d.Radios[energy.Cell3G].FixedOverhead().Joules()
+		lte := d.Radios[energy.LTE].FixedOverhead().Joules()
+		t.Addf(d.Name, wifi, g3, lte)
+		key := "s3"
+		if d.Name != energy.GalaxyS3().Name {
+			key = "n5"
+		}
+		out.Metrics[key+"_wifi_J"] = wifi
+		out.Metrics[key+"_3g_J"] = g3
+		out.Metrics[key+"_lte_J"] = lte
+	}
+	out.Tables = append(out.Tables, t)
+	out.Notes = append(out.Notes,
+		"cellular promotion and tail dominate; the LTE tail alone lasts ~11.5 s")
+	return out
+}
+
+func runTable1(cfg Config) *Output {
+	out := newOutput()
+	t := report.NewTable("Table 1 — mobile devices",
+		"Field", "Samsung Galaxy S3", "LG Nexus 5")
+	s3, n5 := energy.GalaxyS3(), energy.Nexus5()
+	rows := []struct{ f, a, b string }{
+		{"Release Date", s3.ReleaseDate, n5.ReleaseDate},
+		{"App. Processor", s3.AppProcessor, n5.AppProcessor},
+		{"Semiconductor", s3.Semiconductor, n5.Semiconductor},
+		{"Android Version", s3.Android, n5.Android},
+		{"Kernel Version", s3.Kernel, n5.Kernel},
+		{"WiFi chipset", s3.WiFiChipset, n5.WiFiChipset},
+	}
+	for _, r := range rows {
+		t.Add(r.f, r.a, r.b)
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runFig3(cfg Config) *Output {
+	out := newOutput()
+	n := 40
+	if cfg.Quick {
+		n = 16
+	}
+	h := eib.RelativeEfficiencyHeatmap(cfg.device(), units.MbpsRate(10), units.MbpsRate(10), n)
+	out.Notes = append(out.Notes, report.HeatmapASCII(h.Rel,
+		func(i int) string { return fmt.Sprintf("%4.1f Mb", h.LTE[i].Mbit()) },
+		"LTE (rows, Mbps) × WiFi 0→10 Mbps (cols); darker = MPTCP more efficient"))
+	frac := h.MPTCPBestFraction()
+	out.Metrics["mptcp_best_fraction"] = frac
+	// Row-wise V summary: for a few LTE rows, the WiFi interval where
+	// both wins.
+	t := report.NewTable("Figure 3 — WiFi interval (Mbps) where both interfaces are most efficient",
+		"LTE (Mbps)", "from", "to")
+	tb := eib.Generate(cfg.device(), eib.DefaultConfig())
+	for _, lte := range []float64{2, 4, 6, 8, 10} {
+		t1, t2 := tb.Thresholds(units.MbpsRate(lte))
+		t.Addf(lte, t1.Mbit(), t2.Mbit())
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runTable2(cfg Config) *Output {
+	out := newOutput()
+	tb := eib.Generate(cfg.device(), eib.DefaultConfig())
+	t := report.NewTable("Table 2 — Energy Information Base (WiFi thresholds in Mbps)",
+		"LTE Thpt (Mbps)", "LTE-only below", "WiFi-only at least", "paper LTE-only", "paper WiFi-only")
+	paper := map[float64][2]float64{
+		0.5: {0.043, 0.234}, 1.0: {0.134, 0.502}, 1.5: {0.209, 0.803}, 2.0: {0.304, 1.070},
+	}
+	for _, lte := range []float64{0.5, 1.0, 1.5, 2.0, 4.0, 8.0} {
+		t1, t2 := tb.Thresholds(units.MbpsRate(lte))
+		p, ok := paper[lte]
+		pa, pb := "—", "—"
+		if ok {
+			pa, pb = fmt.Sprintf("%.3f", p[0]), fmt.Sprintf("%.3f", p[1])
+		}
+		t.Add(fmt.Sprintf("%.1f", lte), fmt.Sprintf("%.3f", t1.Mbit()), fmt.Sprintf("%.3f", t2.Mbit()), pa, pb)
+		if ok {
+			out.Metrics[fmt.Sprintf("t2_err_pct_lte%.1f", lte)] = (t2.Mbit() - p[1]) / p[1] * 100
+		}
+	}
+	out.Tables = append(out.Tables, t)
+	return out
+}
+
+func runFig4(cfg Config) *Output {
+	out := newOutput()
+	d := cfg.device()
+	n := 24
+	if cfg.Quick {
+		n = 12
+	}
+	t := report.NewTable("Figure 4 — LTE interval (Mbps) where MPTCP most efficiently completes the whole transfer",
+		"WiFi (Mbps)", "1 MB", "4 MB", "16 MB")
+	regions := map[string]eib.Region{}
+	for _, size := range []struct {
+		label string
+		bytes units.ByteSize
+	}{{"1 MB", units.MB}, {"4 MB", 4 * units.MB}, {"16 MB", 16 * units.MB}} {
+		regions[size.label] = eib.OperatingRegion(d, size.bytes, units.MbpsRate(6), units.MbpsRate(12), n)
+		out.Metrics["area_"+strings.ReplaceAll(size.label, " ", "")] = regions[size.label].Area()
+	}
+	r1 := regions["1 MB"]
+	for i := range r1.WiFi {
+		row := []string{fmt.Sprintf("%.2f", r1.WiFi[i].Mbit())}
+		for _, label := range []string{"1 MB", "4 MB", "16 MB"} {
+			r := regions[label]
+			if r.LTEMin[i] != r.LTEMin[i] { // NaN
+				row = append(row, "—")
+			} else {
+				row = append(row, fmt.Sprintf("[%.1f, %.1f]", r.LTEMin[i], r.LTEMax[i]))
+			}
+		}
+		t.Add(row...)
+	}
+	out.Tables = append(out.Tables, t)
+	out.Notes = append(out.Notes, "κ = 1 MB is chosen because MPTCP rarely beats single-path TCP below 1 MB")
+	return out
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Mobile scenario route inside the UMass CS building",
+		Paper: "route starts at the blue point; red square is the AP; dashed circle its usable range",
+		Run:   runFig11,
+	})
+}
+
+// runFig11 renders the Figure 11 route as an ASCII map: the AP (#), its
+// usable-range boundary (·), the walked path (*), start (S) and end (E).
+func runFig11(cfg Config) *Output {
+	out := newOutput()
+	route, ap := phy.UMassCSRoute()
+	cell := phy.DefaultWiFiCell()
+
+	const cols, rows = 68, 24
+	minX, maxX := -10.0, 85.0
+	minY, maxY := -12.0, 36.0
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	put := func(p phy.Point, r rune) {
+		c := int((p.X - minX) / (maxX - minX) * float64(cols-1))
+		rw := int((p.Y - minY) / (maxY - minY) * float64(rows-1))
+		if c >= 0 && c < cols && rw >= 0 && rw < rows {
+			grid[rows-1-rw][c] = r
+		}
+	}
+	// Usable-range circle.
+	for a := 0.0; a < 360; a++ {
+		rad := a * math.Pi / 180
+		put(phy.Point{
+			X: ap.X + cell.UsableRange*math.Cos(rad),
+			Y: ap.Y + cell.UsableRange*math.Sin(rad),
+		}, '·')
+	}
+	// The walked path, sampled every second.
+	for tm := 0.0; tm <= route.Duration(); tm++ {
+		put(route.PositionAt(tm), '*')
+	}
+	put(route.PositionAt(0), 'S')
+	put(route.PositionAt(route.Duration()), 'E')
+	put(ap, '#')
+
+	m := "Figure 11 — route (S start, E end, * path, # AP, · usable range edge)\n"
+	for _, row := range grid {
+		m += string(row) + "\n"
+	}
+	out.Notes = append(out.Notes, m)
+
+	// Quantify the route the way §4.5 uses it.
+	outOfRange := 0.0
+	for tm := 0.0; tm < route.Duration(); tm++ {
+		if cell.GoodputAt(route.PositionAt(tm).Dist(ap)) == 0 {
+			outOfRange++
+		}
+	}
+	out.Metrics["route_duration_s"] = route.Duration()
+	out.Metrics["route_length_m"] = route.Length()
+	out.Metrics["out_of_range_s"] = outOfRange
+	return out
+}

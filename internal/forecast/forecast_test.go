@@ -1,0 +1,207 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrng"
+)
+
+func TestHoltWintersConstantSeries(t *testing.T) {
+	hw := NewHoltWinters(0.5, 0.2)
+	for i := 0; i < 50; i++ {
+		hw.Observe(7)
+	}
+	if got := hw.Predict(1); math.Abs(got-7) > 1e-9 {
+		t.Errorf("constant series forecast = %v, want 7", got)
+	}
+	if got := hw.Trend(); math.Abs(got) > 1e-9 {
+		t.Errorf("constant series trend = %v, want 0", got)
+	}
+}
+
+func TestHoltWintersLinearSeries(t *testing.T) {
+	// On a perfectly linear series, Holt's method converges to the exact
+	// line: forecast at horizon h should be last + h*slope.
+	hw := NewHoltWinters(0.5, 0.2)
+	for i := 0; i < 200; i++ {
+		hw.Observe(3 + 2*float64(i))
+	}
+	last := 3 + 2*float64(199)
+	for h := 1; h <= 5; h++ {
+		want := last + 2*float64(h)
+		if got := hw.Predict(h); math.Abs(got-want) > 0.01 {
+			t.Errorf("Predict(%d) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestHoltWintersTracksShift(t *testing.T) {
+	// After a level shift, the forecast should converge to the new level.
+	hw := DefaultThroughput()
+	for i := 0; i < 50; i++ {
+		hw.Observe(10)
+	}
+	for i := 0; i < 50; i++ {
+		hw.Observe(1)
+	}
+	if got := hw.Predict(1); math.Abs(got-1) > 0.05 {
+		t.Errorf("post-shift forecast = %v, want ~1", got)
+	}
+}
+
+func TestHoltWintersNonNegative(t *testing.T) {
+	hw := DefaultThroughput()
+	// Steep downward trend would extrapolate below zero.
+	for i := 0; i < 20; i++ {
+		hw.Observe(100 - 10*float64(i))
+	}
+	if got := hw.Predict(10); got < 0 {
+		t.Errorf("non-negative forecast = %v", got)
+	}
+	hw.NonNegative = false
+	if got := hw.Predict(100); got >= 0 {
+		t.Errorf("expected negative extrapolation with clamping off, got %v", got)
+	}
+}
+
+func TestHoltWintersEmpty(t *testing.T) {
+	hw := DefaultThroughput()
+	if !math.IsNaN(hw.Predict(1)) || !math.IsNaN(hw.Level()) || !math.IsNaN(hw.Trend()) {
+		t.Error("empty predictor should return NaN")
+	}
+}
+
+func TestHoltWintersSeed(t *testing.T) {
+	hw := DefaultThroughput()
+	hw.Seed(5)
+	if hw.N() != 1 {
+		t.Errorf("N after Seed = %d, want 1", hw.N())
+	}
+	if got := hw.Predict(1); got != 5 {
+		t.Errorf("seeded forecast = %v, want 5", got)
+	}
+}
+
+func TestHoltWintersNegativeHorizonClamped(t *testing.T) {
+	hw := DefaultThroughput()
+	hw.Observe(3)
+	hw.Observe(5)
+	if got, want := hw.Predict(-3), hw.Level(); got != want {
+		t.Errorf("Predict(-3) = %v, want level %v", got, want)
+	}
+}
+
+func TestHoltWintersPanicsOnBadParams(t *testing.T) {
+	for _, p := range [][2]float64{{0, 0.5}, {1.5, 0.5}, {0.5, 0}, {0.5, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHoltWinters(%v, %v) did not panic", p[0], p[1])
+				}
+			}()
+			NewHoltWinters(p[0], p[1])
+		}()
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	e.Observe(20)
+	// level = 0.5*20 + 0.5*10 = 15.
+	if got := e.Predict(1); got != 15 {
+		t.Errorf("EWMA = %v, want 15", got)
+	}
+	if !math.IsNaN((&EWMA{Alpha: 0.5}).Predict(1)) {
+		t.Error("empty EWMA should return NaN")
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	var l LastValue
+	if !math.IsNaN(l.Predict(1)) {
+		t.Error("empty LastValue should return NaN")
+	}
+	l.Observe(4)
+	l.Observe(9)
+	if got := l.Predict(7); got != 9 {
+		t.Errorf("LastValue = %v, want 9", got)
+	}
+}
+
+func TestResetAll(t *testing.T) {
+	preds := []Predictor{DefaultThroughput(), NewEWMA(0.3), &LastValue{}}
+	for _, p := range preds {
+		p.Observe(1)
+		p.Observe(2)
+		p.Reset()
+		if p.N() != 0 {
+			t.Errorf("%T: N after Reset = %d", p, p.N())
+		}
+		if !math.IsNaN(p.Predict(1)) {
+			t.Errorf("%T: Predict after Reset should be NaN", p)
+		}
+	}
+}
+
+func TestHoltWintersBeatsLastValueOnTrend(t *testing.T) {
+	// The paper chose Holt-Winters because it is more accurate than
+	// naive predictors; verify on a noisy trending series.
+	src := simrng.New(11)
+	series := make([]float64, 300)
+	for i := range series {
+		series[i] = 5 + 0.05*float64(i) + src.Normal(0, 0.1)
+	}
+	hwErr := MAE(NewHoltWinters(0.5, 0.2), series)
+	lvErr := MAE(&LastValue{}, series)
+	if hwErr >= lvErr {
+		t.Errorf("Holt-Winters MAE %v not better than last-value %v on trending series", hwErr, lvErr)
+	}
+}
+
+func TestMAEEmpty(t *testing.T) {
+	if !math.IsNaN(MAE(&LastValue{}, nil)) {
+		t.Error("MAE of empty series should be NaN")
+	}
+	if !math.IsNaN(MAE(&LastValue{}, []float64{1})) {
+		t.Error("MAE of single-sample series should be NaN")
+	}
+}
+
+// Property: forecasts remain finite for any finite input series.
+func TestHoltWintersFiniteProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		hw := DefaultThroughput()
+		for _, r := range raw {
+			hw.Observe(float64(r))
+		}
+		if len(raw) == 0 {
+			return math.IsNaN(hw.Predict(1))
+		}
+		p := hw.Predict(3)
+		return !math.IsNaN(p) && !math.IsInf(p, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a constant series always forecasts that constant regardless of
+// parameters.
+func TestConstantSeriesProperty(t *testing.T) {
+	f := func(v int16, aRaw, bRaw uint8) bool {
+		alpha := 0.01 + float64(aRaw%99)/100
+		beta := 0.01 + float64(bRaw%99)/100
+		hw := NewHoltWinters(alpha, beta)
+		hw.NonNegative = false
+		for i := 0; i < 30; i++ {
+			hw.Observe(float64(v))
+		}
+		return math.Abs(hw.Predict(1)-float64(v)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package phy models the wireless channels the paper's experiments run
+// over: an IEEE 802.11g WiFi cell whose usable throughput depends on
+// distance to the access point and on channel contention from interfering
+// nodes (§4.4, §4.5), and an LTE cell with a stable rate.
+//
+// The models are deliberately simple — the experiments need realistic
+// *available bandwidth over time*, not PHY-accurate bit error rates — and
+// are parameterized so tests can pin their shapes.
+package phy
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// WiFiCell models one 802.11g access point.
+type WiFiCell struct {
+	// MaxGoodput is the TCP goodput adjacent to the AP. 802.11g tops out
+	// around 54 Mbps PHY ≈ 20–25 Mbps TCP; the paper's campus AP delivers
+	// 10–18 Mbps in Figures 7 and 12.
+	MaxGoodput units.BitRate
+	// FullRateRange is the distance (metres) within which the cell
+	// delivers MaxGoodput.
+	FullRateRange float64
+	// UsableRange is the distance at which goodput reaches zero (the AP's
+	// estimated usable access range — the dashed circle of Figure 11).
+	UsableRange float64
+}
+
+// DefaultWiFiCell matches the campus-AP behaviour seen in the paper's
+// traces: ~18 Mbps near the AP, unusable beyond ~50 m indoors.
+func DefaultWiFiCell() WiFiCell {
+	return WiFiCell{
+		MaxGoodput:    units.MbpsRate(18),
+		FullRateRange: 10,
+		UsableRange:   50,
+	}
+}
+
+// GoodputAt returns the cell's TCP goodput at the given distance from the
+// AP, with no contention. Rate-versus-distance follows the stepped decay
+// of 802.11 link adaptation, smoothed to a quadratic falloff between the
+// full-rate range and the usable range.
+func (c WiFiCell) GoodputAt(distance float64) units.BitRate {
+	if distance < 0 {
+		distance = 0
+	}
+	switch {
+	case distance <= c.FullRateRange:
+		return c.MaxGoodput
+	case distance >= c.UsableRange:
+		return 0
+	default:
+		// Quadratic decay from 1 at FullRateRange to 0 at UsableRange:
+		// throughput degrades slowly at first, then falls off a cliff
+		// near the cell edge, matching measured 802.11 behaviour.
+		f := (distance - c.FullRateRange) / (c.UsableRange - c.FullRateRange)
+		return units.BitRate(float64(c.MaxGoodput) * (1 - f*f))
+	}
+}
+
+// Associated reports whether a device at the given distance still holds an
+// association with the AP. Association persists to the usable range edge
+// plus a margin: the paper (§4.6) stresses that a device can stay
+// associated while throughput is near zero, which is exactly the situation
+// where "MPTCP with WiFi First" degenerates.
+func (c WiFiCell) Associated(distance float64) bool {
+	return distance <= c.UsableRange*1.2
+}
+
+// ContentionShare returns the fraction of airtime available to the device
+// when n interfering nodes are actively transmitting on the same channel.
+// 802.11 DCF is long-term fair per station, so the device receives roughly
+// 1/(n+1) of the channel.
+func ContentionShare(n int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	return 1 / float64(n+1)
+}
+
+// CollisionLossProb returns the packet-loss probability induced by n
+// actively interfering nodes. More contenders mean more collisions (§4.4:
+// "larger numbers of interfering WiFi nodes result in more losses caused
+// by collisions"). The quadratic-ish growth follows Bianchi-style DCF
+// analysis for small n.
+func CollisionLossProb(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := 0.008 * float64(n) * float64(n+1)
+	if p > 0.5 {
+		return 0.5
+	}
+	return p
+}
+
+// LTECell models an LTE attachment: a nominal rate that does not depend on
+// the device's indoor position at the scales of the paper's experiments.
+type LTECell struct {
+	// Rate is the achievable downlink goodput.
+	Rate units.BitRate
+}
+
+// DefaultLTECell matches the AT&T LTE throughputs of the paper's traces
+// (≈ 5–12 Mbps, Figure 9 shows ~8–10).
+func DefaultLTECell() LTECell {
+	return LTECell{Rate: units.MbpsRate(9)}
+}
+
+// Goodput returns the cell's achievable goodput.
+func (c LTECell) Goodput() units.BitRate { return c.Rate }
+
+// Point is a 2-D position in metres.
+type Point struct{ X, Y float64 }
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Route is a walking route: a polyline traversed at constant speed,
+// modelling the mobile scenario of Figure 11.
+type Route struct {
+	Waypoints []Point
+	// Speed is the walking speed in metres per second.
+	Speed float64
+
+	cum []float64 // cumulative distance to each waypoint
+}
+
+// NewRoute builds a route. It needs at least one waypoint and a positive
+// speed.
+func NewRoute(speed float64, waypoints ...Point) *Route {
+	if len(waypoints) == 0 {
+		panic("phy: route needs at least one waypoint")
+	}
+	if speed <= 0 {
+		panic("phy: route speed must be positive")
+	}
+	r := &Route{Waypoints: waypoints, Speed: speed}
+	r.cum = make([]float64, len(waypoints))
+	for i := 1; i < len(waypoints); i++ {
+		r.cum[i] = r.cum[i-1] + waypoints[i-1].Dist(waypoints[i])
+	}
+	return r
+}
+
+// Length returns the total route length in metres.
+func (r *Route) Length() float64 { return r.cum[len(r.cum)-1] }
+
+// Duration returns how long the walk takes in seconds.
+func (r *Route) Duration() float64 { return r.Length() / r.Speed }
+
+// PositionAt returns the walker's position t seconds into the walk. The
+// walker stops at the final waypoint.
+func (r *Route) PositionAt(t float64) Point {
+	if t <= 0 {
+		return r.Waypoints[0]
+	}
+	d := t * r.Speed
+	if d >= r.Length() {
+		return r.Waypoints[len(r.Waypoints)-1]
+	}
+	// Find the segment containing distance d.
+	i := 1
+	for r.cum[i] < d {
+		i++
+	}
+	segLen := r.cum[i] - r.cum[i-1]
+	f := 0.0
+	if segLen > 0 {
+		f = (d - r.cum[i-1]) / segLen
+	}
+	a, b := r.Waypoints[i-1], r.Waypoints[i]
+	return Point{a.X + f*(b.X-a.X), a.Y + f*(b.Y-a.Y)}
+}
+
+// UMassCSRoute approximates the Figure 11 walk: a loop through a building
+// that starts near the AP, leaves its usable range, and returns, taking
+// about 250 seconds. The AP sits at apPos.
+func UMassCSRoute() (route *Route, apPos Point) {
+	ap := Point{X: 0, Y: 0}
+	// ~1.2 m/s walk; the loop spends roughly 25–40 s and 150–200 s
+	// outside the usable range, matching the throughput dips in Fig. 12.
+	r := NewRoute(1.2,
+		Point{X: 5, Y: 0},   // start beside the AP
+		Point{X: 40, Y: 10}, // down the corridor, leaving range ~25 s in
+		Point{X: 75, Y: 15}, // far wing (out of range)
+		Point{X: 40, Y: -5}, // returning
+		Point{X: 10, Y: 0},  // near the AP again
+		Point{X: 30, Y: 20}, // second excursion
+		Point{X: 70, Y: 30}, // out of range again
+		Point{X: 35, Y: 10}, // heading back
+		Point{X: 5, Y: 5},   // finish beside the AP
+	)
+	return r, ap
+}

@@ -1,0 +1,196 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestGoodputAtDistance(t *testing.T) {
+	c := DefaultWiFiCell()
+	if got := c.GoodputAt(0); got != c.MaxGoodput {
+		t.Errorf("goodput at AP = %v, want max", got)
+	}
+	if got := c.GoodputAt(c.FullRateRange); got != c.MaxGoodput {
+		t.Errorf("goodput at full-rate edge = %v, want max", got)
+	}
+	if got := c.GoodputAt(c.UsableRange); got != 0 {
+		t.Errorf("goodput at usable edge = %v, want 0", got)
+	}
+	if got := c.GoodputAt(1000); got != 0 {
+		t.Errorf("goodput far away = %v, want 0", got)
+	}
+	if got := c.GoodputAt(-5); got != c.MaxGoodput {
+		t.Errorf("negative distance should clamp, got %v", got)
+	}
+	mid := c.GoodputAt((c.FullRateRange + c.UsableRange) / 2)
+	if mid <= 0 || mid >= c.MaxGoodput {
+		t.Errorf("mid-range goodput = %v, want strictly between 0 and max", mid)
+	}
+}
+
+func TestGoodputMonotoneProperty(t *testing.T) {
+	c := DefaultWiFiCell()
+	f := func(d1Raw, d2Raw uint16) bool {
+		d1 := float64(d1Raw) / 100
+		d2 := float64(d2Raw) / 100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return c.GoodputAt(d2) <= c.GoodputAt(d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociationOutlastsUsableRange(t *testing.T) {
+	c := DefaultWiFiCell()
+	// The §4.6 point: a device can be associated yet get ~zero goodput.
+	d := c.UsableRange * 1.1
+	if !c.Associated(d) {
+		t.Error("device just past usable range should still be associated")
+	}
+	if c.GoodputAt(d) != 0 {
+		t.Error("goodput past usable range should be 0")
+	}
+	if c.Associated(c.UsableRange * 1.3) {
+		t.Error("device far past range should be disassociated")
+	}
+}
+
+func TestContentionShare(t *testing.T) {
+	if got := ContentionShare(0); got != 1 {
+		t.Errorf("share with no interferers = %v, want 1", got)
+	}
+	if got := ContentionShare(1); got != 0.5 {
+		t.Errorf("share with 1 interferer = %v, want 0.5", got)
+	}
+	if got := ContentionShare(-3); got != 1 {
+		t.Errorf("negative interferers should clamp, got %v", got)
+	}
+	for n := 0; n < 10; n++ {
+		if ContentionShare(n+1) >= ContentionShare(n) {
+			t.Fatalf("share not decreasing at n=%d", n)
+		}
+	}
+}
+
+func TestCollisionLossProb(t *testing.T) {
+	if got := CollisionLossProb(0); got != 0 {
+		t.Errorf("loss with no interferers = %v, want 0", got)
+	}
+	if CollisionLossProb(2) >= CollisionLossProb(3) {
+		t.Error("loss should grow with interferers")
+	}
+	if got := CollisionLossProb(100); got > 0.5 {
+		t.Errorf("loss should cap at 0.5, got %v", got)
+	}
+}
+
+func TestLTECell(t *testing.T) {
+	c := DefaultLTECell()
+	if c.Goodput() != c.Rate {
+		t.Error("LTE goodput should equal configured rate")
+	}
+	if c.Rate < units.MbpsRate(5) || c.Rate > units.MbpsRate(12) {
+		t.Errorf("default LTE rate %v outside the paper's observed band", c.Rate)
+	}
+}
+
+func TestRouteGeometry(t *testing.T) {
+	r := NewRoute(2, Point{0, 0}, Point{30, 0}, Point{30, 40})
+	if got := r.Length(); got != 70 {
+		t.Errorf("length = %v, want 70", got)
+	}
+	if got := r.Duration(); got != 35 {
+		t.Errorf("duration = %v, want 35", got)
+	}
+	if p := r.PositionAt(0); p != (Point{0, 0}) {
+		t.Errorf("position at 0 = %v", p)
+	}
+	if p := r.PositionAt(7.5); p != (Point{15, 0}) {
+		t.Errorf("position at 7.5 = %v, want (15,0)", p)
+	}
+	// Corner at t=15.
+	if p := r.PositionAt(15); p != (Point{30, 0}) {
+		t.Errorf("position at corner = %v, want (30,0)", p)
+	}
+	if p := r.PositionAt(25); p != (Point{30, 20}) {
+		t.Errorf("position at 25 = %v, want (30,20)", p)
+	}
+	// Stops at the end.
+	if p := r.PositionAt(1000); p != (Point{30, 40}) {
+		t.Errorf("position past end = %v, want final waypoint", p)
+	}
+	if p := r.PositionAt(-3); p != (Point{0, 0}) {
+		t.Errorf("position before start = %v, want first waypoint", p)
+	}
+}
+
+func TestRoutePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no waypoints": func() { NewRoute(1) },
+		"zero speed":   func() { NewRoute(0, Point{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoutePositionContinuityProperty(t *testing.T) {
+	r, _ := UMassCSRoute()
+	f := func(tRaw uint16) bool {
+		tm := float64(tRaw%25000) / 100
+		p1 := r.PositionAt(tm)
+		p2 := r.PositionAt(tm + 0.01)
+		// Walker cannot move faster than Speed.
+		return p1.Dist(p2) <= r.Speed*0.01+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUMassRouteShape(t *testing.T) {
+	r, ap := UMassCSRoute()
+	cell := DefaultWiFiCell()
+	if d := r.Duration(); d < 180 || d > 320 {
+		t.Errorf("route duration = %v s, want ~250 s", d)
+	}
+	// The walk starts in range, leaves it at least once, and ends in range.
+	start := r.PositionAt(0).Dist(ap)
+	if cell.GoodputAt(start) == 0 {
+		t.Error("route should start inside WiFi range")
+	}
+	end := r.PositionAt(r.Duration()).Dist(ap)
+	if cell.GoodputAt(end) == 0 {
+		t.Error("route should end inside WiFi range")
+	}
+	outOfRange := 0.0
+	for tm := 0.0; tm < r.Duration(); tm += 1 {
+		if cell.GoodputAt(r.PositionAt(tm).Dist(ap)) == 0 {
+			outOfRange++
+		}
+	}
+	if outOfRange < 20 {
+		t.Errorf("route spends only %v s out of WiFi range, want a meaningful excursion", outOfRange)
+	}
+	if outOfRange > r.Duration()*0.7 {
+		t.Errorf("route spends %v s out of range; the paper's device is in range most of the time", outOfRange)
+	}
+}
+
+func TestPointDist(t *testing.T) {
+	if got := (Point{0, 0}).Dist(Point{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("dist = %v, want 5", got)
+	}
+}

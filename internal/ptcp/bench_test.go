@@ -1,0 +1,24 @@
+package ptcp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// BenchmarkPacketLevel measures the packet-granularity reference model's
+// cost — the baseline the fluid model's 3–4 orders of magnitude savings
+// are measured against.
+func BenchmarkPacketLevel(b *testing.B) {
+	var pkts int
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		eng.Horizon = 120
+		res := Run(eng, DefaultConfig(), Link{
+			Rate: units.MbpsRate(10), OneWayDelay: 0.025, QueuePackets: 64,
+		}, 4*units.MB)
+		pkts = res.Packets
+	}
+	b.ReportMetric(float64(pkts), "packets/op")
+}

@@ -1,0 +1,280 @@
+// Package ptcp is a packet-granularity TCP Reno reference model: one flow
+// over a fixed-rate bottleneck with a drop-tail queue, simulated packet by
+// packet — data transmissions, queueing, propagation, ACK clocking,
+// duplicate-ACK fast retransmit, and retransmission timeouts.
+//
+// The experiment harness does not run on this model (a 256 MB download is
+// ~180 000 packets; the fluid-round model in internal/tcp is 3–4 orders of
+// magnitude cheaper). Its job is validation: the cross-model tests and the
+// BenchmarkAblationFluidVsPacket bench check that the fluid approximation
+// delivers the same goodput and completion times the packet model does,
+// which is what DESIGN.md §4.1 promises.
+package ptcp
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config carries the sender's TCP parameters.
+type Config struct {
+	// MSS is the segment size.
+	MSS units.ByteSize
+	// InitialWindow is the initial congestion window in segments.
+	InitialWindow float64
+	// MaxWindow caps the window (receive window), in segments.
+	MaxWindow float64
+	// MinRTO floors the retransmission timeout, in seconds.
+	MinRTO float64
+}
+
+// DefaultConfig matches internal/tcp's defaults.
+func DefaultConfig() Config {
+	return Config{MSS: 1460, InitialWindow: 10, MaxWindow: 1024, MinRTO: 1.0}
+}
+
+// Link is the bottleneck path: a fixed service rate, a drop-tail queue,
+// and symmetric propagation delay.
+type Link struct {
+	// Rate is the bottleneck service rate.
+	Rate units.BitRate
+	// OneWayDelay is the propagation delay each way, in seconds.
+	OneWayDelay float64
+	// QueuePackets is the drop-tail queue capacity in packets.
+	QueuePackets int
+}
+
+// Result reports a finished (or horizon-cut) transfer.
+type Result struct {
+	// Completed reports whether every byte was acknowledged.
+	Completed bool
+	// FinishedAt is when the last byte was acknowledged.
+	FinishedAt float64
+	// Delivered counts acknowledged bytes.
+	Delivered units.ByteSize
+	// Retransmits counts retransmitted segments.
+	Retransmits int
+	// FastRecoveries counts triple-dupACK events.
+	FastRecoveries int
+	// Timeouts counts RTO firings.
+	Timeouts int
+	// Packets counts data transmissions (including retransmits).
+	Packets int
+}
+
+// flow is the sender state machine.
+type flow struct {
+	eng  *sim.Engine
+	cfg  Config
+	link Link
+
+	totalSegs   int // segments in the transfer
+	nextSeq     int // next new segment to send
+	highestAck  int // cumulative ACK point (segments fully acked)
+	cwnd        float64
+	ssthresh    float64
+	dupAcks     int
+	inRecovery  bool
+	recoverSeq  int          // recovery ends when this segment is acked
+	rtx         map[int]bool // holes already retransmitted this recovery
+	rtxCursor   int          // scan position for the next hole
+	queueFreeAt float64
+	inFlight    map[int]bool // unacked segments currently in the network
+	acked       map[int]bool // segments delivered and acknowledged
+	rtoEv       *sim.Event
+	srtt        float64
+	res         Result
+}
+
+// Run transfers size bytes over the link and returns the result. The
+// engine's Horizon (if set) bounds the run.
+func Run(eng *sim.Engine, cfg Config, link Link, size units.ByteSize) Result {
+	if cfg.MSS <= 0 || cfg.InitialWindow <= 0 || link.Rate <= 0 || link.QueuePackets <= 0 {
+		panic("ptcp: invalid configuration")
+	}
+	f := &flow{
+		eng:       eng,
+		cfg:       cfg,
+		link:      link,
+		totalSegs: int(math.Ceil(float64(size) / float64(cfg.MSS))),
+		cwnd:      cfg.InitialWindow,
+		ssthresh:  cfg.MaxWindow,
+		inFlight:  map[int]bool{},
+		acked:     map[int]bool{},
+		srtt:      2 * link.OneWayDelay,
+	}
+	f.send()
+	eng.Run()
+	f.res.Completed = f.highestAck >= f.totalSegs
+	f.res.Delivered = units.ByteSize(f.highestAck) * cfg.MSS
+	if f.res.Delivered > size {
+		f.res.Delivered = size
+	}
+	return f.res
+}
+
+// txTime is the serialization time of one segment at the bottleneck.
+func (f *flow) txTime() float64 {
+	return f.cfg.MSS.Bits() / float64(f.link.Rate)
+}
+
+// rto returns the current retransmission timeout.
+func (f *flow) rto() float64 {
+	return math.Max(f.cfg.MinRTO, 2*f.srtt)
+}
+
+// send transmits as many segments as the window allows.
+func (f *flow) send() {
+	for len(f.inFlight) < int(f.cwnd) && f.nextSeq < f.totalSegs {
+		f.transmit(f.nextSeq)
+		f.nextSeq++
+	}
+	f.armRTO()
+}
+
+// transmit puts one segment into the bottleneck queue. The segment counts
+// against the window whether or not the queue drops it — the sender cannot
+// observe a drop until duplicate ACKs or a timeout reveal it.
+func (f *flow) transmit(seq int) {
+	now := f.eng.Now()
+	f.res.Packets++
+	f.inFlight[seq] = true
+	start := math.Max(now, f.queueFreeAt)
+	queued := (start - now) / f.txTime()
+	if int(queued) >= f.link.QueuePackets {
+		// Drop-tail: the segment is lost; recovery via dupACKs or RTO.
+		return
+	}
+	depart := start + f.txTime()
+	f.queueFreeAt = depart
+	arrive := depart + f.link.OneWayDelay
+	ackAt := arrive + f.link.OneWayDelay
+	f.eng.Schedule(ackAt, func() { f.onAck(seq, ackAt-now) })
+}
+
+// onAck processes the receiver's cumulative ACK for a delivered segment.
+func (f *flow) onAck(seq int, rttSample float64) {
+	delete(f.inFlight, seq)
+	f.acked[seq] = true
+	f.srtt = 0.875*f.srtt + 0.125*rttSample
+
+	if seq < f.highestAck {
+		return // stale
+	}
+	// Advance the cumulative point over every delivered segment.
+	advanced := false
+	for f.highestAck < f.totalSegs && f.acked[f.highestAck] {
+		f.highestAck++
+		advanced = true
+	}
+	if !advanced {
+		// Delivery beyond a hole: the receiver emits a duplicate
+		// cumulative ACK.
+		f.onDupAck()
+		return
+	}
+	f.dupAcks = 0
+	if f.inRecovery {
+		if f.highestAck >= f.recoverSeq {
+			// Full ACK: leave recovery and deflate the window.
+			f.inRecovery = false
+			f.cwnd = f.ssthresh
+		} else {
+			// Partial ACK: more holes remain; keep the SACK-style
+			// retransmission clock running.
+			f.retransmitNextHole()
+		}
+	}
+	if f.highestAck >= f.totalSegs {
+		f.res.FinishedAt = f.eng.Now()
+		if f.rtoEv != nil {
+			f.rtoEv.Cancel()
+		}
+		f.eng.Stop()
+		return
+	}
+	// Window growth per ACK.
+	if !f.inRecovery {
+		if f.cwnd < f.ssthresh {
+			f.cwnd++ // slow start: +1 per ACK
+		} else {
+			f.cwnd += 1 / f.cwnd // congestion avoidance
+		}
+		f.cwnd = math.Min(f.cwnd, f.cfg.MaxWindow)
+	}
+	f.send()
+}
+
+// onDupAck counts duplicate ACKs; the third triggers fast retransmit.
+// During recovery every returning ACK signals a departure from the
+// network, clocking out one retransmission of the next known hole —
+// SACK-style loss recovery, which (unlike plain NewReno's one hole per
+// RTT) survives the mass drops of a slow-start overshoot without
+// degenerating to timeouts.
+func (f *flow) onDupAck() {
+	f.dupAcks++
+	switch {
+	case f.dupAcks == 3 && !f.inRecovery:
+		f.res.FastRecoveries++
+		f.inRecovery = true
+		f.recoverSeq = f.nextSeq
+		f.ssthresh = math.Max(f.cwnd/2, 2)
+		f.cwnd = f.ssthresh
+		f.rtx = map[int]bool{}
+		f.rtxCursor = f.highestAck
+		f.retransmitNextHole()
+	case f.inRecovery:
+		f.retransmitNextHole()
+	}
+	f.armRTO()
+}
+
+// retransmitNextHole resends the lowest hole not yet retransmitted in this
+// recovery episode; with no hole left it lets new data flow instead.
+func (f *flow) retransmitNextHole() {
+	if f.rtxCursor < f.highestAck {
+		f.rtxCursor = f.highestAck
+	}
+	for f.rtxCursor < f.recoverSeq {
+		seq := f.rtxCursor
+		f.rtxCursor++
+		if !f.acked[seq] && !f.rtx[seq] {
+			f.rtx[seq] = true
+			f.res.Retransmits++
+			f.transmit(seq)
+			return
+		}
+	}
+	f.send()
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (f *flow) armRTO() {
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+	}
+	if f.highestAck >= f.totalSegs {
+		return
+	}
+	f.rtoEv = f.eng.After(f.rto(), f.onRTO)
+}
+
+// onRTO retransmits the missing segment after a timeout and collapses the
+// window.
+func (f *flow) onRTO() {
+	if f.highestAck >= f.totalSegs {
+		return
+	}
+	f.res.Timeouts++
+	f.ssthresh = math.Max(f.cwnd/2, 2)
+	f.cwnd = 1
+	f.inRecovery = false
+	f.dupAcks = 0
+	// Everything unacked is presumed lost.
+	f.inFlight = map[int]bool{}
+	f.nextSeq = f.highestAck
+	f.res.Retransmits++
+	f.send()
+}

@@ -1,0 +1,303 @@
+// Package report renders experiment outputs as aligned text tables and
+// lightweight ASCII charts — the harness's stand-in for the paper's
+// figures. Every experiment in internal/exp emits its results through
+// these types so cmd/emptcpsim can print something a human can compare
+// against the paper directly.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row. Short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	for len(cells) < len(t.Headers) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row built from format/args pairs: each argument is
+// rendered with %v unless it is a float64, which gets %.3g... use Add with
+// pre-formatted strings for full control.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Add(row...)
+}
+
+// FormatFloat renders a float compactly with sensible precision.
+func FormatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "—"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}
+
+// MeanSEM renders a stats.Summary the way the paper's error-bar figures
+// report values.
+func MeanSEM(s stats.Summary) string {
+	return fmt.Sprintf("%s ± %s", FormatFloat(s.Mean), FormatFloat(s.SEM))
+}
+
+// WhiskerString renders a whisker summary compactly for the Figure 15/16
+// style tables.
+func WhiskerString(w stats.Whisker) string {
+	return fmt.Sprintf("%s / %s / %s (out:%d)",
+		FormatFloat(w.Q1), FormatFloat(w.Median), FormatFloat(w.Q3), len(w.Outliers))
+}
+
+// sparkLevels are the eight block characters a sparkline quantizes to.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a time series as a fixed-width unicode sparkline,
+// resampling to width points over the series' time span.
+func Sparkline(ts *stats.TimeSeries, width int) string {
+	if ts == nil || ts.Len() == 0 || width <= 0 {
+		return ""
+	}
+	end, _ := ts.Last()
+	if end <= 0 {
+		end = 1
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	vals := make([]float64, width)
+	for i := 0; i < width; i++ {
+		v := ts.At(end * float64(i) / float64(width-1+boolToInt(width == 1)))
+		vals[i] = v
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range vals {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SeriesBlock renders named time series as labelled sparklines with their
+// final values — the textual stand-in for the paper's trace figures
+// (7, 9, 12).
+func SeriesBlock(title string, names []string, series map[string]*stats.TimeSeries, width int) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	maxName := 0
+	for _, n := range names {
+		if len(n) > maxName {
+			maxName = len(n)
+		}
+	}
+	for _, n := range names {
+		ts := series[n]
+		if ts == nil {
+			continue
+		}
+		_, last := ts.Last()
+		fmt.Fprintf(&b, "  %s  %s  (final %.4g)\n", pad(n, maxName), Sparkline(ts, width), last)
+	}
+	return b.String()
+}
+
+// HeatmapASCII shades a matrix (row-major, rows × cols) with the given
+// row/column labels: darker cells mean lower values, mirroring Figure 3's
+// grey-scale where darker = more efficient MPTCP.
+func HeatmapASCII(rel [][]float64, rowLabel func(i int) string, colCaption string) string {
+	shades := []rune(" ░▒▓█")
+	var b strings.Builder
+	b.WriteString(colCaption + "\n")
+	for i := len(rel) - 1; i >= 0; i-- { // highest row on top like the figure's y axis
+		b.WriteString(pad(rowLabel(i), 8) + " ")
+		for _, v := range rel[i] {
+			// Map 0.8..1.2 → darkest..lightest.
+			f := (v - 0.8) / 0.4
+			idx := len(shades) - 1 - int(f*float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180-style CSV (quoted cells where needed),
+// for piping experiment output into external plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Scatter renders labelled (x, y) points on an ASCII grid — the textual
+// stand-in for the paper's Figure 14 scatterplot. Points are plotted with
+// their rune label; later points overwrite earlier ones on collisions.
+type Scatter struct {
+	Title          string
+	XLabel, YLabel string
+	XMax, YMax     float64
+	points         []scatterPoint
+}
+
+type scatterPoint struct {
+	x, y  float64
+	label rune
+}
+
+// AddPoint plots one labelled point; values outside [0, Max] clamp to the
+// border.
+func (s *Scatter) AddPoint(x, y float64, label rune) {
+	s.points = append(s.points, scatterPoint{x, y, label})
+}
+
+// String renders the plot with the y axis on the left.
+func (s *Scatter) String() string {
+	const cols, rows = 56, 18
+	grid := make([][]rune, rows)
+	for i := range grid {
+		grid[i] = make([]rune, cols)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	clamp := func(v float64, max float64, n int) int {
+		if max <= 0 {
+			return 0
+		}
+		i := int(v / max * float64(n-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	for _, p := range s.points {
+		grid[rows-1-clamp(p.y, s.YMax, rows)][clamp(p.x, s.XMax, cols)] = p.label
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title + "\n")
+	}
+	fmt.Fprintf(&b, "%s ↑\n", s.YLabel)
+	for _, row := range grid {
+		b.WriteString("  |" + string(row) + "\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", cols) + "→ " + s.XLabel + "\n")
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "A", "Column B")
+	tb.Add("x", "1")
+	tb.Add("longer cell")
+	s := tb.String()
+	if !strings.HasPrefix(s, "title\n") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+	// Short row padded to the header width.
+	if !strings.Contains(lines[4], "longer cell") {
+		t.Errorf("row missing:\n%s", s)
+	}
+	// Columns aligned: header and first row start their second column at
+	// the same offset.
+	hIdx := strings.Index(lines[1], "Column B")
+	rIdx := strings.Index(lines[3], "1")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hIdx, rIdx, s)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c")
+	tb.Addf("s", 3.14159, 42)
+	row := tb.Rows[0]
+	if row[0] != "s" || row[1] != "3.14" || row[2] != "42" {
+		t.Errorf("Addf row = %v", row)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{math.NaN(), "—"},
+		{0.001234, "0.00123"},
+		{12345, "12345"},
+		{3.14159, "3.14"},
+		{0, "0.00"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanSEM(t *testing.T) {
+	s := stats.Summarize([]float64{1, 2, 3})
+	out := MeanSEM(s)
+	if !strings.Contains(out, "±") || !strings.Contains(out, "2.00") {
+		t.Errorf("MeanSEM = %q", out)
+	}
+}
+
+func TestWhiskerString(t *testing.T) {
+	w := stats.NewWhisker([]float64{1, 2, 3, 4, 100})
+	out := WhiskerString(w)
+	if !strings.Contains(out, "out:1") {
+		t.Errorf("WhiskerString = %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	ts := &stats.TimeSeries{}
+	for i := 0; i <= 10; i++ {
+		ts.Add(float64(i), float64(i))
+	}
+	s := Sparkline(ts, 20)
+	if len([]rune(s)) != 20 {
+		t.Fatalf("sparkline width = %d, want 20", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] == runes[len(runes)-1] {
+		t.Error("rising series should change sparkline level")
+	}
+	if Sparkline(nil, 10) != "" || Sparkline(&stats.TimeSeries{}, 10) != "" {
+		t.Error("empty series should render empty")
+	}
+	if Sparkline(ts, 0) != "" {
+		t.Error("zero width should render empty")
+	}
+}
+
+func TestSparklineFlat(t *testing.T) {
+	ts := &stats.TimeSeries{}
+	ts.Add(0, 5)
+	ts.Add(10, 5)
+	s := []rune(Sparkline(ts, 10))
+	for _, r := range s {
+		if r != s[0] {
+			t.Error("flat series should render one level")
+		}
+	}
+}
+
+func TestSeriesBlock(t *testing.T) {
+	ts := &stats.TimeSeries{}
+	ts.Add(0, 0)
+	ts.Add(1, 7)
+	out := SeriesBlock("traces:", []string{"a", "missing"}, map[string]*stats.TimeSeries{"a": ts}, 12)
+	if !strings.Contains(out, "traces:") || !strings.Contains(out, "final 7") {
+		t.Errorf("SeriesBlock = %q", out)
+	}
+	if strings.Contains(out, "missing") {
+		t.Error("absent series should be skipped")
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	rel := [][]float64{{0.8, 1.2}, {1.0, 0.9}}
+	out := HeatmapASCII(rel, func(i int) string { return "r" }, "caption")
+	if !strings.Contains(out, "caption") {
+		t.Errorf("missing caption: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected caption + 2 rows, got %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.Add("plain", `needs "quoting", yes`)
+	got := tb.CSV()
+	want := "a,b\nplain,\"needs \"\"quoting\"\", yes\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	s := &Scatter{Title: "title", XLabel: "x", YLabel: "y", XMax: 10, YMax: 10}
+	s.AddPoint(0, 0, 'a')
+	s.AddPoint(10, 10, 'b')
+	s.AddPoint(50, -3, 'c') // clamps to the border
+	out := s.String()
+	for _, want := range []string{"title", "a", "b", "c", "→ x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scatter missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// 'b' must appear above 'a'.
+	var aLine, bLine int
+	for i, l := range lines {
+		if strings.Contains(l, "a") && strings.HasPrefix(l, "  |") {
+			aLine = i
+		}
+		if strings.Contains(l, "b") && strings.HasPrefix(l, "  |") {
+			bLine = i
+		}
+	}
+	if bLine >= aLine {
+		t.Errorf("y axis inverted: b at line %d, a at line %d", bLine, aLine)
+	}
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The fuzz suite runs randomized protocol × scenario × seed combinations
+// and checks structural invariants that must hold no matter what: runs
+// terminate, energy is finite and decomposes, byte accounting balances,
+// completion implies delivery.
+
+func checkInvariants(t *testing.T, sc Scenario, r Result, work workload.Workload) bool {
+	t.Helper()
+	ok := true
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+		ok = false
+	}
+	if r.Energy < 0 || math.IsNaN(float64(r.Energy)) || math.IsInf(float64(r.Energy), 0) {
+		fail("%v/%s: energy = %v", r.Protocol, sc.Name, r.Energy)
+	}
+	var sum units.Energy = r.BaseEnergy
+	for _, e := range r.ByIface {
+		if e < 0 {
+			fail("%v/%s: negative interface energy %v", r.Protocol, sc.Name, e)
+		}
+		sum += e
+	}
+	if math.Abs(float64(r.Energy-sum)) > 1e-6 {
+		fail("%v/%s: energy %v != decomposition %v", r.Protocol, sc.Name, r.Energy, sum)
+	}
+	if r.Downloaded < 0 || r.Uploaded < 0 {
+		fail("%v/%s: negative byte counters", r.Protocol, sc.Name)
+	}
+	if r.Completed {
+		if total := work.TotalBytes(); total > 0 {
+			moved := r.Downloaded + r.Uploaded
+			if diff := float64(moved - total); diff < -1 || diff > 1 {
+				fail("%v/%s: completed with %v of %v moved", r.Protocol, sc.Name, moved, total)
+			}
+		}
+		if math.IsNaN(r.CompletionTime) || r.CompletionTime < 0 {
+			fail("%v/%s: completed at %v", r.Protocol, sc.Name, r.CompletionTime)
+		}
+	}
+	if r.Elapsed < 0 {
+		fail("%v/%s: elapsed %v", r.Protocol, sc.Name, r.Elapsed)
+	}
+	if !r.LTEUsed && r.ByIface[energy.LTE] > 0 {
+		fail("%v/%s: LTE energy %v without LTEUsed", r.Protocol, sc.Name, r.ByIface[energy.LTE])
+	}
+	return ok
+}
+
+func TestFuzzInvariants(t *testing.T) {
+	type seedCase struct {
+		ProtoRaw uint8
+		ScRaw    uint8
+		SizeKB   uint16
+		Seed     int64
+	}
+	f := func(c seedCase) bool {
+		proto := AllProtocols[int(c.ProtoRaw)%len(AllProtocols)]
+		size := units.ByteSize(c.SizeKB%4096+16) * units.KB
+		var sc Scenario
+		var work workload.Workload = workload.FileDownload{Size: size}
+		switch c.ScRaw % 5 {
+		case 0:
+			sc = StaticLab(s3(), float64(c.ScRaw%20)+0.5, 4.5, work)
+		case 1:
+			sc = RandomBandwidth(s3(), work)
+		case 2:
+			sc = BackgroundTraffic(s3(), int(c.ScRaw%4), 0.05, 0.03, work)
+		case 3:
+			sc = Mobility(s3())
+			work = workload.Bulk{}
+		default:
+			work = workload.FileUpload{Size: size}
+			sc = StaticLab(s3(), float64(c.ScRaw%20)+0.5, 4.5, work)
+		}
+		// Cap runtime: tiny bandwidths with big files take long simulated
+		// (not wall) time; bound the horizon.
+		if sc.Horizon == 0 {
+			sc.Horizon = 3600
+		}
+		r := Run(sc, proto, Opts{Seed: c.Seed})
+		return checkInvariants(t, sc, r, work)
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Capacity collapse mid-transfer must never wedge a run: the engine always
+// reaches the horizon or completion, and the accountant never goes
+// negative.
+func TestFailureInjectionWiFiDeath(t *testing.T) {
+	for _, proto := range AllProtocols {
+		sc := Mobility(s3()) // WiFi dies and revives repeatedly on the route
+		r := Run(sc, proto, Opts{Seed: 99})
+		if r.Elapsed != MobilityDuration {
+			t.Errorf("%v: run ended at %v, want full horizon", proto, r.Elapsed)
+		}
+		if r.Downloaded <= 0 {
+			t.Errorf("%v: nothing downloaded despite usable periods", proto)
+		}
+	}
+}
+
+// Zero-capacity WiFi from the start: single-path WiFi must simply make no
+// progress (not crash), and multipath protocols must ride LTE.
+func TestFailureInjectionDeadWiFi(t *testing.T) {
+	work := workload.FileDownload{Size: 2 * units.MB}
+	sc := StaticLab(s3(), 0, 4.5, work)
+	sc.Horizon = 120
+
+	tw := Run(sc, TCPWiFi, Opts{Seed: 5})
+	if tw.Completed {
+		t.Error("TCP over dead WiFi completed")
+	}
+	if tw.Downloaded != 0 {
+		t.Errorf("TCP over dead WiFi moved %v", tw.Downloaded)
+	}
+
+	mp := Run(sc, MPTCP, Opts{Seed: 5})
+	if !mp.Completed {
+		t.Error("MPTCP with live LTE did not complete despite dead WiFi")
+	}
+
+	em := Run(sc, EMPTCP, Opts{Seed: 5})
+	if !em.Completed {
+		t.Error("eMPTCP did not fall back to LTE on dead WiFi (τ rule)")
+	}
+	if !em.LTEUsed {
+		t.Error("eMPTCP completed without LTE on a dead WiFi link?")
+	}
+}

@@ -1,0 +1,605 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func s3() *energy.DeviceProfile { return energy.GalaxyS3() }
+
+func runOne(t *testing.T, sc Scenario, p Protocol, seed int64) Result {
+	t.Helper()
+	return Run(sc, p, Opts{Seed: seed})
+}
+
+// §4.2, Figure 5: static good WiFi — eMPTCP behaves like TCP over WiFi
+// (never opens LTE) and beats MPTCP on energy.
+func TestStaticGoodWiFi(t *testing.T) {
+	sc := StaticLab(s3(), 12, 9, workload.FileDownload{Size: 32 * units.MB})
+	em := runOne(t, sc, EMPTCP, 1)
+	mp := runOne(t, sc, MPTCP, 1)
+	tw := runOne(t, sc, TCPWiFi, 1)
+	for _, r := range []Result{em, mp, tw} {
+		if !r.Completed {
+			t.Fatalf("%v did not complete", r.Protocol)
+		}
+	}
+	if em.LTEUsed {
+		t.Error("eMPTCP used LTE under good static WiFi")
+	}
+	if !mp.LTEUsed {
+		t.Error("MPTCP should always use LTE")
+	}
+	if em.Energy >= mp.Energy {
+		t.Errorf("eMPTCP energy %v not below MPTCP %v", em.Energy, mp.Energy)
+	}
+	// eMPTCP ≈ TCP over WiFi in both energy and time (within 15%).
+	if rel := float64(em.Energy) / float64(tw.Energy); rel > 1.15 || rel < 0.85 {
+		t.Errorf("eMPTCP/TCP-WiFi energy ratio = %.2f, want ≈ 1", rel)
+	}
+	if rel := em.CompletionTime / tw.CompletionTime; rel > 1.15 || rel < 0.85 {
+		t.Errorf("eMPTCP/TCP-WiFi time ratio = %.2f, want ≈ 1", rel)
+	}
+	// MPTCP is faster (it aggregates) but less efficient.
+	if mp.CompletionTime >= tw.CompletionTime {
+		t.Error("MPTCP should finish before TCP over WiFi")
+	}
+}
+
+// §4.2, Figure 6: static bad WiFi — eMPTCP behaves like MPTCP (uses both
+// paths after the startup delay) and crushes TCP over WiFi on time.
+func TestStaticBadWiFi(t *testing.T) {
+	sc := StaticLab(s3(), 0.8, 9, workload.FileDownload{Size: 32 * units.MB})
+	em := runOne(t, sc, EMPTCP, 2)
+	mp := runOne(t, sc, MPTCP, 2)
+	tw := runOne(t, sc, TCPWiFi, 2)
+	if !em.LTEUsed {
+		t.Fatal("eMPTCP did not open LTE under bad WiFi")
+	}
+	// eMPTCP ≈ MPTCP: within 25% on energy and time (startup delay
+	// accounts for the gap).
+	if rel := float64(em.Energy) / float64(mp.Energy); rel > 1.25 || rel < 0.75 {
+		t.Errorf("eMPTCP/MPTCP energy ratio = %.2f, want ≈ 1", rel)
+	}
+	if rel := em.CompletionTime / mp.CompletionTime; rel > 1.3 || rel < 0.8 {
+		t.Errorf("eMPTCP/MPTCP time ratio = %.2f, want ≈ 1", rel)
+	}
+	// TCP over WiFi takes several times longer.
+	if tw.CompletionTime < 3*mp.CompletionTime {
+		t.Errorf("TCP-WiFi %.0fs vs MPTCP %.0fs: want ≥3x slower on 0.8 vs 9.8 Mbps",
+			tw.CompletionTime, mp.CompletionTime)
+	}
+}
+
+// §4.3, Figures 7–8: random bandwidth — eMPTCP saves energy vs MPTCP at
+// some download-time cost, and is far faster than TCP over WiFi.
+func TestRandomBandwidth(t *testing.T) {
+	size := workload.FileDownload{Size: 64 * units.MB}
+	var emE, mpE, twE, emT, mpT, twT float64
+	const runs = 3
+	for seed := int64(0); seed < runs; seed++ {
+		em := runOne(t, RandomBandwidth(s3(), size), EMPTCP, seed)
+		mp := runOne(t, RandomBandwidth(s3(), size), MPTCP, seed)
+		tw := runOne(t, RandomBandwidth(s3(), size), TCPWiFi, seed)
+		if !em.Completed || !mp.Completed || !tw.Completed {
+			t.Fatal("a run did not complete")
+		}
+		emE += float64(em.Energy)
+		mpE += float64(mp.Energy)
+		twE += float64(tw.Energy)
+		emT += em.CompletionTime
+		mpT += mp.CompletionTime
+		twT += tw.CompletionTime
+	}
+	if emE >= mpE {
+		t.Errorf("eMPTCP energy %.0f not below MPTCP %.0f", emE/runs, mpE/runs)
+	}
+	if emT <= mpT {
+		t.Errorf("eMPTCP time %.0f should exceed MPTCP %.0f (it declines LTE when inefficient)", emT/runs, mpT/runs)
+	}
+	if emT >= twT {
+		t.Errorf("eMPTCP time %.0f should beat TCP-WiFi %.0f", emT/runs, twT/runs)
+	}
+}
+
+// §4.5, Figures 12–13: mobility — per-byte energy: TCP-WiFi < eMPTCP <
+// MPTCP; downloaded amount: TCP-WiFi < eMPTCP < MPTCP.
+func TestMobility(t *testing.T) {
+	em := runOne(t, Mobility(s3()), EMPTCP, 3)
+	mp := runOne(t, Mobility(s3()), MPTCP, 3)
+	tw := runOne(t, Mobility(s3()), TCPWiFi, 3)
+	for _, r := range []Result{em, mp, tw} {
+		if r.Completed {
+			t.Fatalf("%v: bulk workload should not complete in 250 s", r.Protocol)
+		}
+		if r.Elapsed != MobilityDuration {
+			t.Fatalf("%v: elapsed %v, want %v", r.Protocol, r.Elapsed, MobilityDuration)
+		}
+	}
+	if !(em.JPerByte < mp.JPerByte) {
+		t.Errorf("eMPTCP J/B (%.3g) should beat MPTCP (%.3g)", em.JPerByte, mp.JPerByte)
+	}
+	if !(tw.JPerByte < em.JPerByte) {
+		t.Errorf("TCP-WiFi J/B (%.3g) should beat eMPTCP (%.3g) on this route", tw.JPerByte, em.JPerByte)
+	}
+	if !(em.Downloaded > tw.Downloaded) {
+		t.Errorf("eMPTCP downloaded %v, should exceed TCP-WiFi %v", em.Downloaded, tw.Downloaded)
+	}
+	if !(mp.Downloaded > em.Downloaded) {
+		t.Errorf("MPTCP downloaded %v, should exceed eMPTCP %v", mp.Downloaded, em.Downloaded)
+	}
+}
+
+// §4.6: MPTCP with WiFi First degenerates to TCP over WiFi while the
+// association holds (static scenario), but pays the LTE activation cost.
+func TestWiFiFirstStaticDegenerates(t *testing.T) {
+	sc := StaticLab(s3(), 0.8, 9, workload.FileDownload{Size: 4 * units.MB})
+	wf := runOne(t, sc, WiFiFirst, 4)
+	tw := runOne(t, sc, TCPWiFi, 4)
+	if !wf.Completed {
+		t.Fatal("WiFi-First run did not complete")
+	}
+	// Same download time as TCP over WiFi (same single path in use)...
+	if rel := wf.CompletionTime / tw.CompletionTime; rel > 1.1 || rel < 0.9 {
+		t.Errorf("WiFi-First/TCP-WiFi time ratio = %.2f, want ≈ 1", rel)
+	}
+	// ...but strictly more energy: the needless LTE activation.
+	if wf.Energy <= tw.Energy {
+		t.Errorf("WiFi-First energy %v should exceed TCP-WiFi %v", wf.Energy, tw.Energy)
+	}
+	if !wf.LTEUsed {
+		t.Error("WiFi-First should have activated the LTE radio at establishment")
+	}
+}
+
+// §4.6: on the mobility route WiFi-First only uses LTE after
+// disassociation, so it downloads less than eMPTCP, which reacts to
+// throughput rather than association.
+func TestWiFiFirstMobility(t *testing.T) {
+	wf := runOne(t, Mobility(s3()), WiFiFirst, 5)
+	em := runOne(t, Mobility(s3()), EMPTCP, 5)
+	if wf.Downloaded >= em.Downloaded {
+		t.Errorf("WiFi-First downloaded %v, eMPTCP %v — eMPTCP should win by using LTE during bad-but-associated WiFi",
+			wf.Downloaded, em.Downloaded)
+	}
+}
+
+// §4.6: the MDP scheduler behaves like TCP over WiFi.
+func TestMDPDegeneratesToTCPWiFi(t *testing.T) {
+	sc := StaticLab(s3(), 5, 9, workload.FileDownload{Size: 8 * units.MB})
+	md := runOne(t, sc, MDP, 6)
+	tw := runOne(t, sc, TCPWiFi, 6)
+	if !md.Completed {
+		t.Fatal("MDP run did not complete")
+	}
+	if md.LTEUsed {
+		t.Error("MDP scheduler activated LTE under the LTE energy model")
+	}
+	if rel := float64(md.Energy) / float64(tw.Energy); rel > 1.1 || rel < 0.9 {
+		t.Errorf("MDP/TCP-WiFi energy ratio = %.2f, want ≈ 1", rel)
+	}
+}
+
+// §5.2, Figure 15: small files (256 KB) — eMPTCP saves most of MPTCP's
+// energy with statistically similar download times.
+func TestSmallFileWild(t *testing.T) {
+	sc := Wild(s3(), Good, Good, WDC, workload.FileDownload{Size: 256 * units.KB})
+	em := runOne(t, sc, EMPTCP, 7)
+	mp := runOne(t, sc, MPTCP, 7)
+	if em.LTEUsed {
+		t.Error("eMPTCP opened LTE for a 256 KB download")
+	}
+	if got := float64(em.Energy) / float64(mp.Energy); got > 0.4 {
+		t.Errorf("eMPTCP used %.0f%% of MPTCP's energy on a small file; paper reports 10–25%%", got*100)
+	}
+	if em.CompletionTime > mp.CompletionTime*2 {
+		t.Errorf("eMPTCP time %.2f vs MPTCP %.2f: want similar", em.CompletionTime, mp.CompletionTime)
+	}
+}
+
+// §5.3, Figure 16 Good-WiFi categories: eMPTCP uses roughly half of
+// MPTCP's energy on 16 MB downloads.
+func TestLargeFileWildGoodWiFi(t *testing.T) {
+	for _, lteQ := range []Quality{Bad, Good} {
+		sc := Wild(s3(), Good, lteQ, WDC, workload.FileDownload{Size: 16 * units.MB})
+		em := runOne(t, sc, EMPTCP, 8)
+		mp := runOne(t, sc, MPTCP, 8)
+		rel := float64(em.Energy) / float64(mp.Energy)
+		if rel > 0.75 {
+			t.Errorf("Good WiFi/%v LTE: eMPTCP at %.0f%% of MPTCP energy, want ≈ 50%%", lteQ, rel*100)
+		}
+	}
+}
+
+// §5.3 Bad WiFi & Good LTE: eMPTCP ≈ MPTCP energy, slightly slower; TCP
+// over WiFi far worse.
+func TestLargeFileWildBadWiFiGoodLTE(t *testing.T) {
+	sc := Wild(s3(), Bad, Good, WDC, workload.FileDownload{Size: 16 * units.MB})
+	em := runOne(t, sc, EMPTCP, 9)
+	mp := runOne(t, sc, MPTCP, 9)
+	tw := runOne(t, sc, TCPWiFi, 9)
+	if rel := float64(em.Energy) / float64(mp.Energy); rel > 1.3 || rel < 0.6 {
+		t.Errorf("eMPTCP/MPTCP energy = %.2f, want ≈ 1", rel)
+	}
+	if em.CompletionTime < mp.CompletionTime {
+		t.Error("eMPTCP should be slightly slower than MPTCP (delayed establishment)")
+	}
+	if tw.CompletionTime < 2*mp.CompletionTime {
+		t.Errorf("TCP-WiFi (%.0fs) should be much slower than MPTCP (%.0fs)", tw.CompletionTime, mp.CompletionTime)
+	}
+}
+
+// §5.4, Figure 17: web browsing — eMPTCP never opens LTE, saving a large
+// fraction of MPTCP's energy at similar latency.
+func TestWebBrowsing(t *testing.T) {
+	em := runOne(t, WebBrowsing(s3()), EMPTCP, 10)
+	mp := runOne(t, WebBrowsing(s3()), MPTCP, 10)
+	if !em.Completed || !mp.Completed {
+		t.Fatal("page load did not complete")
+	}
+	if em.LTEUsed {
+		t.Error("eMPTCP opened LTE for web browsing")
+	}
+	if !mp.LTEUsed {
+		t.Error("MPTCP should open LTE on all six connections")
+	}
+	if rel := float64(mp.Energy) / float64(em.Energy); rel < 1.3 {
+		t.Errorf("MPTCP should use ≥30%% more energy than eMPTCP; got %.0f%% more", (rel-1)*100)
+	}
+	if rel := em.CompletionTime / mp.CompletionTime; rel > 1.5 {
+		t.Errorf("eMPTCP latency %.2fx MPTCP's, want similar", rel)
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	sc := RandomBandwidth(s3(), workload.FileDownload{Size: 16 * units.MB})
+	r := Run(sc, EMPTCP, Opts{Seed: 11, Trace: true})
+	if r.EnergyTrace == nil || r.EnergyTrace.Len() == 0 {
+		t.Fatal("no energy trace")
+	}
+	// Cumulative energy must be nondecreasing.
+	last := 0.0
+	for _, v := range r.EnergyTrace.V {
+		if v < last {
+			t.Fatal("energy trace decreased")
+		}
+		last = v
+	}
+	for i := range r.ThroughputTrace {
+		if r.ThroughputTrace[i] == nil {
+			t.Fatalf("missing throughput trace for %v", energy.Interface(i))
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	sc := RandomBandwidth(s3(), workload.FileDownload{Size: 16 * units.MB})
+	a := Run(sc, EMPTCP, Opts{Seed: 12})
+	b := Run(sc, EMPTCP, Opts{Seed: 12})
+	if a.Energy != b.Energy || a.CompletionTime != b.CompletionTime {
+		t.Errorf("same-seed runs differ: %v/%v vs %v/%v", a.Energy, a.CompletionTime, b.Energy, b.CompletionTime)
+	}
+	c := Run(sc, EMPTCP, Opts{Seed: 13})
+	if a.Energy == c.Energy && a.CompletionTime == c.CompletionTime {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestTCPLTEProtocol(t *testing.T) {
+	sc := StaticLab(s3(), 5, 9, workload.FileDownload{Size: 8 * units.MB})
+	lt := runOne(t, sc, TCPLTE, 14)
+	if !lt.Completed {
+		t.Fatal("TCP-LTE did not complete")
+	}
+	if lt.ByIface[energy.WiFi] > 0.2 {
+		t.Errorf("TCP-LTE consumed WiFi energy: %v", lt.ByIface[energy.WiFi])
+	}
+	if lt.ByIface[energy.LTE] <= 0 {
+		t.Error("TCP-LTE consumed no LTE energy")
+	}
+	// Promotion delays the first byte.
+	ideal := units.MbpsRate(9).TimeToSend(8 * units.MB).Seconds()
+	if lt.CompletionTime < ideal {
+		t.Errorf("completion %.2f s below the no-overhead ideal %.2f s", lt.CompletionTime, ideal)
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	if Categorize(units.MbpsRate(10)) != Good || Categorize(units.MbpsRate(3)) != Bad {
+		t.Error("categorization against the 8 Mbps threshold is wrong")
+	}
+	if Categorize(QualityThreshold) != Good {
+		t.Error("threshold itself should be Good (≥)")
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	names := map[Protocol]string{
+		TCPWiFi: "TCP over WiFi", TCPLTE: "TCP over LTE", MPTCP: "MPTCP",
+		EMPTCP: "eMPTCP", WiFiFirst: "MPTCP w/ WiFi First", MDP: "MDP scheduler",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestIncompleteScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("incomplete scenario did not panic")
+		}
+	}()
+	Run(Scenario{}, MPTCP, Opts{})
+}
+
+func TestEnergyDecomposition(t *testing.T) {
+	sc := StaticLab(s3(), 5, 9, workload.FileDownload{Size: 8 * units.MB})
+	r := runOne(t, sc, MPTCP, 15)
+	var sum units.Energy = r.BaseEnergy
+	for _, e := range r.ByIface {
+		sum += e
+	}
+	if math.Abs(float64(r.Energy-sum)) > 1e-6 {
+		t.Errorf("Energy %v != base+interfaces %v", r.Energy, sum)
+	}
+}
+
+func TestJPerByteConsistency(t *testing.T) {
+	sc := StaticLab(s3(), 5, 9, workload.FileDownload{Size: 8 * units.MB})
+	r := runOne(t, sc, MPTCP, 16)
+	want := float64(r.Energy) / float64(r.Downloaded)
+	if math.Abs(r.JPerByte-want) > 1e-12 {
+		t.Errorf("JPerByte %v != Energy/Downloaded %v", r.JPerByte, want)
+	}
+}
+
+// §2.1/§6: Single-Path mode. On static WiFi (no disassociation) it is
+// byte-for-byte TCP over WiFi and — unlike WiFi-First — never touches the
+// LTE radio.
+func TestSinglePathStatic(t *testing.T) {
+	sc := StaticLab(s3(), 0.8, 9, workload.FileDownload{Size: 4 * units.MB})
+	sp := runOne(t, sc, SinglePath, 21)
+	tw := runOne(t, sc, TCPWiFi, 21)
+	if sp.LTEUsed {
+		t.Error("Single-Path mode activated LTE without a disassociation")
+	}
+	if sp.Energy != tw.Energy || sp.CompletionTime != tw.CompletionTime {
+		t.Errorf("Single-Path (%v, %.1fs) should equal TCP/WiFi (%v, %.1fs) on static WiFi",
+			sp.Energy, sp.CompletionTime, tw.Energy, tw.CompletionTime)
+	}
+}
+
+// On the mobility route, disassociation triggers the LTE subflow and the
+// mode stays there; it downloads more than TCP/WiFi but less than eMPTCP,
+// which also exploits bad-but-associated periods.
+func TestSinglePathMobility(t *testing.T) {
+	sp := runOne(t, Mobility(s3()), SinglePath, 22)
+	tw := runOne(t, Mobility(s3()), TCPWiFi, 22)
+	em := runOne(t, Mobility(s3()), EMPTCP, 22)
+	if !sp.LTEUsed {
+		t.Fatal("route disassociates; Single-Path should have switched to LTE")
+	}
+	if sp.Downloaded <= tw.Downloaded {
+		t.Errorf("Single-Path downloaded %v, should exceed TCP/WiFi %v", sp.Downloaded, tw.Downloaded)
+	}
+	if em.Downloaded <= sp.Downloaded {
+		t.Errorf("eMPTCP downloaded %v, should exceed Single-Path %v (reacts to throughput, not association)",
+			em.Downloaded, sp.Downloaded)
+	}
+}
+
+// Upload support (§7 future work): uplink bytes are metered to the uplink
+// power coefficients, which are far higher per Mbps — especially on LTE.
+func TestUploadEnergyExceedsDownload(t *testing.T) {
+	up := runOne(t, StaticLab(s3(), 6, 4.5, workload.FileUpload{Size: 8 * units.MB}), TCPLTE, 30)
+	down := runOne(t, StaticLab(s3(), 6, 4.5, workload.FileDownload{Size: 8 * units.MB}), TCPLTE, 30)
+	if !up.Completed || !down.Completed {
+		t.Fatal("a transfer did not complete")
+	}
+	if up.Uploaded != 8*units.MB {
+		t.Errorf("uploaded %v, want 8 MB", up.Uploaded)
+	}
+	if up.Downloaded != 0 {
+		t.Errorf("upload run downloaded %v", up.Downloaded)
+	}
+	if float64(up.Energy) < float64(down.Energy)*1.15 {
+		t.Errorf("LTE upload (%v) should cost well above download (%v): α_up ≫ α_down", up.Energy, down.Energy)
+	}
+}
+
+func TestUploadEMPTCPKeepsLTEDown(t *testing.T) {
+	r := runOne(t, StaticLab(s3(), 12, 4.5, workload.FileUpload{Size: 8 * units.MB}), EMPTCP, 31)
+	if !r.Completed {
+		t.Fatal("upload did not complete")
+	}
+	if r.LTEUsed {
+		t.Error("eMPTCP opened LTE for an upload over good WiFi")
+	}
+	if r.JPerByte <= 0 || math.IsInf(r.JPerByte, 1) {
+		t.Errorf("JPerByte = %v for an upload-only run", r.JPerByte)
+	}
+}
+
+// Streaming (§7 future work): the paced idle gaps keep MPTCP's LTE radio
+// in its tail indefinitely, so eMPTCP — which never opens LTE over good
+// WiFi — saves a large constant power.
+func TestStreamingEnergy(t *testing.T) {
+	w := workload.DefaultStreaming()
+	em := runOne(t, StaticLab(s3(), 12, 4.5, w), EMPTCP, 32)
+	mp := runOne(t, StaticLab(s3(), 12, 4.5, w), MPTCP, 32)
+	tw := runOne(t, StaticLab(s3(), 12, 4.5, w), TCPWiFi, 32)
+	for _, r := range []Result{em, mp, tw} {
+		if !r.Completed {
+			t.Fatalf("%v stream did not complete", r.Protocol)
+		}
+		// Pacing: completion close to the playout duration.
+		if r.CompletionTime < w.Duration()*0.8 || r.CompletionTime > w.Duration()*1.3 {
+			t.Errorf("%v stream completed at %.0f s, playout %.0f", r.Protocol, r.CompletionTime, w.Duration())
+		}
+	}
+	if em.LTEUsed {
+		t.Error("eMPTCP opened LTE for streaming over good WiFi")
+	}
+	if float64(em.Energy) > 0.75*float64(mp.Energy) {
+		t.Errorf("streaming: eMPTCP %v should be well below MPTCP %v (tail drain)", em.Energy, mp.Energy)
+	}
+	if rel := float64(em.Energy) / float64(tw.Energy); rel > 1.1 || rel < 0.9 {
+		t.Errorf("streaming: eMPTCP/TCP-WiFi energy = %.2f, want ≈ 1", rel)
+	}
+}
+
+// The MinRate extension (§7 direction): with a rate floor at the video
+// bitrate, eMPTCP keeps LTE up through slow-WiFi streaming instead of
+// starving playout for per-byte efficiency.
+func TestStreamingWithMinRateFloor(t *testing.T) {
+	w := workload.DefaultStreaming() // 4 Mbps bitrate
+	base := StaticLab(s3(), 3, 4.5, w)
+
+	plain := runOne(t, base, EMPTCP, 33)
+
+	floored := base
+	cfg := core.DefaultConfig()
+	cfg.MinRate = units.MbpsRate(4.2)
+	floored.CoreConfig = &cfg
+	rate := runOne(t, floored, EMPTCP, 33)
+
+	if !plain.Completed || !rate.Completed {
+		t.Fatal("a stream did not complete")
+	}
+	// Without the floor the stream runs far past playout; with it,
+	// completion lands near the playout duration.
+	if plain.CompletionTime < w.Duration()*1.3 {
+		t.Fatalf("precondition: plain eMPTCP at %.0f s should lag playout %.0f s", plain.CompletionTime, w.Duration())
+	}
+	if rate.CompletionTime > w.Duration()*1.15 {
+		t.Errorf("rate-floored eMPTCP at %.0f s, want ≈ playout %.0f s", rate.CompletionTime, w.Duration())
+	}
+	// The floor costs energy; that is the explicit trade.
+	if rate.Energy <= plain.Energy {
+		t.Errorf("rate floor should cost energy: %v vs %v", rate.Energy, plain.Energy)
+	}
+}
+
+// Multi-AP roaming (extension toward Croitoru et al., §6): with the
+// excursions covered by extra APs, every protocol downloads more, and
+// eMPTCP needs LTE for less of the route.
+func TestMobilityMultiAP(t *testing.T) {
+	for _, p := range []Protocol{EMPTCP, TCPWiFi} {
+		single := runOne(t, Mobility(s3()), p, 50)
+		multi := runOne(t, MobilityMultiAP(s3()), p, 50)
+		if multi.Downloaded <= single.Downloaded {
+			t.Errorf("%v: multi-AP downloaded %v, single-AP %v — coverage should help", p, multi.Downloaded, single.Downloaded)
+		}
+		if p == EMPTCP && multi.ByIface[energy.LTE] >= single.ByIface[energy.LTE] {
+			t.Errorf("eMPTCP LTE energy with multi-AP (%v) should be below single-AP (%v)",
+				multi.ByIface[energy.LTE], single.ByIface[energy.LTE])
+		}
+	}
+	// Handovers drop the association, so WiFi-First now reacts on this
+	// route even between full-range excursions.
+	wf := runOne(t, MobilityMultiAP(s3()), WiFiFirst, 50)
+	if !wf.LTEUsed {
+		t.Error("WiFi-First never used LTE despite handover disassociations")
+	}
+}
+
+func TestBatteryPct(t *testing.T) {
+	r := runOne(t, StaticLab(s3(), 12, 4.5, workload.FileDownload{Size: 64 * units.MB}), MPTCP, 60)
+	want := float64(r.Energy) / float64(s3().BatteryCapacity) * 100
+	if math.Abs(r.BatteryPct-want) > 1e-9 {
+		t.Errorf("BatteryPct = %v, want %v", r.BatteryPct, want)
+	}
+	if r.BatteryPct <= 0 || r.BatteryPct > 5 {
+		t.Errorf("a 64 MB download at %v should cost a fraction of a percent to a few percent, got %v%%",
+			r.Energy, r.BatteryPct)
+	}
+}
+
+// The MDP protocol's cellular branch: with a synthetic device whose
+// cellular radio is far cheaper than WiFi, the generated policy selects
+// LTE-only at every rate, exercising the on-demand establishment path.
+func TestMDPCellularBranch(t *testing.T) {
+	d := s3()
+	d.Radios[energy.LTE].Base = units.MilliwattPower(50)
+	d.Radios[energy.LTE].PerMbpsDown = units.MilliwattPower(5)
+	d.Radios[energy.LTE].PromoDur = 0.26
+	sc := StaticLab(d, 5, 8, workload.FileDownload{Size: 4 * units.MB})
+	r := runOne(t, sc, MDP, 61)
+	if !r.Completed {
+		t.Fatal("MDP run did not complete")
+	}
+	if !r.LTEUsed {
+		t.Error("cheap-cellular MDP policy never used LTE")
+	}
+	if r.ByIface[energy.LTE] <= 0 {
+		t.Error("no LTE energy despite LTE-only policy")
+	}
+}
+
+// With a browser-like application power draw, the Figure 17 energy ratio
+// compresses toward the paper's ~160% (EXPERIMENTS.md D2): the app power
+// is protocol-independent and dilutes the network-level gap.
+func TestWebBrowsingWithAppPower(t *testing.T) {
+	plain := WebBrowsing(s3())
+	withApp := WebBrowsing(s3())
+	withApp.AppPower = units.MilliwattPower(1500)
+
+	ratio := func(sc Scenario) float64 {
+		mp := runOne(t, sc, MPTCP, 62)
+		em := runOne(t, sc, EMPTCP, 62)
+		return float64(mp.Energy) / float64(em.Energy)
+	}
+	bare := ratio(plain)
+	diluted := ratio(withApp)
+	if diluted >= bare {
+		t.Errorf("app power should dilute the ratio: %v vs %v", diluted, bare)
+	}
+	if diluted < 1.05 {
+		t.Errorf("diluted ratio %v: MPTCP should still cost more", diluted)
+	}
+	// Toward the paper's ~1.6 rather than the bare ~13x. Full convergence
+	// would need the paper's 6–10 s page durations (rendering time our
+	// model does not simulate), over which the same wattage integrates to
+	// a much larger protocol-independent constant.
+	if diluted > bare/1.5 {
+		t.Errorf("diluted ratio %v did not move meaningfully below bare %v", diluted, bare)
+	}
+}
+
+// eMPTCP uploads decide from the uplink EIB: at a WiFi rate where a
+// download would open LTE, an upload stays WiFi-only because cellular
+// transmit power makes LTE bytes far more expensive.
+func TestUploadUsesUplinkEIB(t *testing.T) {
+	// At 2.6 Mbps WiFi with ~4.5 Mbps LTE, the measured WiFi throughput
+	// (~2.1) sits below the download table's WiFi-only threshold (~2.6 at
+	// the initial 5 Mbps LTE assumption) but above the upload table's
+	// (~1.6): the same link conditions give opposite decisions by
+	// direction. A calm predictor keeps the AIMD troughs from straddling
+	// the upload threshold; both runs share it.
+	coreCfg := core.DefaultConfig()
+	coreCfg.PredictorAlpha = 0.3
+	coreCfg.PredictorBeta = 0.05
+	mk := func(w workload.Workload) Scenario {
+		sc := StaticLab(s3(), 2.6, 4.5, w)
+		sc.CoreConfig = &coreCfg
+		return sc
+	}
+	up := runOne(t, mk(workload.FileUpload{Size: 8 * units.MB}), EMPTCP, 63)
+	down := runOne(t, mk(workload.FileDownload{Size: 8 * units.MB}), EMPTCP, 63)
+	if !up.Completed || !down.Completed {
+		t.Fatal("a transfer did not complete")
+	}
+	if !down.LTEUsed {
+		t.Error("download at 2.6 Mbps WiFi should open LTE (Both region)")
+	}
+	if up.LTEUsed {
+		t.Error("upload at 2.6 Mbps WiFi should stay WiFi-only (uplink table)")
+	}
+}

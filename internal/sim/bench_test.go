@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw kernel speed: schedule-and-fire of
+// chained events, the dominant cost of every experiment.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := New()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			e.After(1, chain)
+		}
+	}
+	e.After(1, chain)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkHeapChurn measures mixed schedule/cancel behaviour with many
+// outstanding events (timers armed and mostly cancelled, as RTO timers
+// are).
+func BenchmarkHeapChurn(b *testing.B) {
+	e := New()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.Now()+10, func() {})
+		e.Schedule(e.Now()+1, func() {})
+		ev.Cancel()
+		e.Step()
+	}
+}

@@ -1,0 +1,236 @@
+// Package sim implements the discrete-event simulation kernel underlying
+// the eMPTCP reproduction.
+//
+// The kernel is a classic event-list simulator: a binary heap of timestamped
+// events, a virtual clock that jumps from event to event, and cancellable
+// timers. Simulated time is float64 seconds; the kernel is single-threaded
+// and deterministic, which keeps every experiment exactly reproducible from
+// its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among same-time events
+	fn   func()
+	idx  int // heap index, -1 when not queued
+	dead bool
+}
+
+// At returns the time the event fires (or fired).
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the simulation driver. The zero value is not usable; call New.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+	// Horizon, when positive, bounds simulated time: Run returns once the
+	// next event would fire past it.
+	Horizon Time
+}
+
+// New returns an Engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns how many events are queued (including cancelled ones not
+// yet drained).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (before Now) panics: it is always a logic error in a causal simulation.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if math.IsNaN(at) {
+		panic("sim: scheduling at NaN time")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay seconds from now. Negative delays are
+// clamped to zero (fire "immediately", after already-queued same-time
+// events). Infinite delays are never scheduled and return a pre-cancelled
+// event.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if math.IsInf(delay, 1) {
+		return &Event{at: math.Inf(1), dead: true, idx: -1}
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single next event, advancing the clock. It returns false
+// when the queue is empty or only holds events past the horizon.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.Horizon > 0 && ev.at > e.Horizon {
+			// Advance the clock to the horizon so callers measuring
+			// elapsed time see a full window.
+			e.now = e.Horizon
+			return false
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue drains, Stop is called, or the
+// horizon is reached. It returns the final simulated time.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil processes events until time t (inclusive), leaving later events
+// queued. It returns the simulated time afterwards, which is t if the
+// queue outlived it.
+func (e *Engine) RunUntil(t Time) Time {
+	for len(e.queue) > 0 {
+		// Drain dead events so the head is live.
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if e.queue[0].at > t {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		if e.stopped {
+			return e.now
+		}
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return e.now
+}
+
+// Ticker invokes fn every interval seconds until cancelled. The first tick
+// fires one interval from the time Tick is created.
+type Ticker struct {
+	eng      *Engine
+	interval float64
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Tick starts a recurring callback. Interval must be positive.
+func (e *Engine) Tick(interval float64, fn func()) *Ticker {
+	if interval <= 0 || math.IsNaN(interval) {
+		panic("sim: Tick interval must be positive")
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. The callback will not fire again.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// Interval returns the current ticker period in seconds.
+func (t *Ticker) Interval() float64 { return t.interval }
+
+// SetInterval changes the ticker period starting from the next re-arm.
+func (t *Ticker) SetInterval(interval float64) {
+	if interval <= 0 || math.IsNaN(interval) {
+		panic("sim: Ticker interval must be positive")
+	}
+	t.interval = interval
+}

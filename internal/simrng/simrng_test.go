@@ -1,0 +1,235 @@
+package simrng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	// Splitting the same parent with the same label gives the same stream.
+	a := New(7).Split(3)
+	b := New(7).Split(3)
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("split streams with same label diverged at %d", i)
+		}
+	}
+	// Different labels give different streams.
+	c := New(7).Split(3)
+	d := New(7).Split(4)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Float64() == d.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams with different labels matched %d/100 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exponential(40)
+	}
+	mean := sum / n
+	if math.Abs(mean-40) > 1 {
+		t.Errorf("exponential(40) sample mean = %v", mean)
+	}
+	if s.Exponential(0) != 0 || s.Exponential(-1) != 0 {
+		t.Error("non-positive mean should return 0")
+	}
+}
+
+func TestExponentialRate(t *testing.T) {
+	s := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.ExponentialRate(0.05) // mean 20
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 0.5 {
+		t.Errorf("exponentialRate(0.05) sample mean = %v, want ~20", mean)
+	}
+	if !math.IsInf(s.ExponentialRate(0), 1) {
+		t.Error("zero rate should return +Inf")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(3)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 1000; i++ {
+		v := s.Pareto(10, 1.5)
+		if v < 10 {
+			t.Fatalf("Pareto(10, 1.5) = %v below scale", v)
+		}
+	}
+	if s.Pareto(0, 1) != 0 || s.Pareto(1, 0) != 0 {
+		t.Error("invalid Pareto params should return 0")
+	}
+}
+
+func TestJitter(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter(100, 0.1) = %v out of range", v)
+		}
+	}
+	if got := s.Jitter(100, 0); got != 100 {
+		t.Errorf("Jitter with zero frac = %v, want 100", got)
+	}
+}
+
+func TestJitterProperty(t *testing.T) {
+	s := New(6)
+	f := func(v float64, fracRaw uint8) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		frac := float64(fracRaw%50) / 100 // 0..0.49
+		got := s.Jitter(v, frac)
+		lo, hi := v*(1-frac), v*(1+frac)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return got >= lo-1e-9*math.Abs(v) && got <= hi+1e-9*math.Abs(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnOffHoldingTimes(t *testing.T) {
+	s := New(7)
+	p := NewOnOff(s, 40, 40, true)
+	if !p.On() {
+		t.Fatal("should start on")
+	}
+	const n = 100000
+	sumOn, sumOff := 0.0, 0.0
+	cOn, cOff := 0, 0
+	for i := 0; i < n; i++ {
+		wasOn := p.On()
+		hold := p.NextToggle()
+		if wasOn {
+			sumOn += hold
+			cOn++
+		} else {
+			sumOff += hold
+			cOff++
+		}
+		if p.On() == wasOn {
+			t.Fatal("NextToggle did not flip state")
+		}
+	}
+	if math.Abs(sumOn/float64(cOn)-40) > 1 {
+		t.Errorf("mean on-time = %v, want ~40", sumOn/float64(cOn))
+	}
+	if math.Abs(sumOff/float64(cOff)-40) > 1 {
+		t.Errorf("mean off-time = %v, want ~40", sumOff/float64(cOff))
+	}
+}
+
+func TestOnOffRates(t *testing.T) {
+	// λon = 0.05 means the off state is left at rate 0.05 → mean off 20 s.
+	// λoff = 0.025 means the on state is left at rate 0.025 → mean on 40 s.
+	p := NewOnOffRates(New(8), 0.05, 0.025, false)
+	if p.MeanOn != 40 {
+		t.Errorf("MeanOn = %v, want 40", p.MeanOn)
+	}
+	if p.MeanOff != 20 {
+		t.Errorf("MeanOff = %v, want 20", p.MeanOff)
+	}
+	p2 := NewOnOffRates(New(8), 0, 0.05, false)
+	if !math.IsInf(p2.MeanOff, 1) {
+		t.Errorf("zero λon should give infinite mean off time, got %v", p2.MeanOff)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(9)
+	const n = 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(5, 2)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	varv := sum2/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(varv-4) > 0.2 {
+		t.Errorf("normal variance = %v, want ~4", varv)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(10)
+	for i := 0; i < 1000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned %v", v)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package stats implements the descriptive statistics the paper reports:
+// sample means with standard error (Figure 8 and friends use mean ± 2·SEM
+// bars, equation 2 defines the sample standard deviation), and the Whisker
+// quartile/outlier summaries of the in-the-wild evaluation (Figures 15–16).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (Bessel-corrected, the
+// paper's equation 2). It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// SEM returns the standard error of the mean, s/sqrt(n), per §4.3.
+func SEM(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	return StdDev(xs) / math.Sqrt(float64(n))
+}
+
+// Summary is a mean ± SEM pair, the unit of comparison in the lab figures.
+type Summary struct {
+	N    int
+	Mean float64
+	SEM  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), SEM: SEM(xs)}
+	if len(xs) == 0 {
+		s.Min, s.Max = math.NaN(), math.NaN()
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// String renders the summary in the "mean ± SEM" form used by the figures.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", s.Mean, s.SEM, s.N)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (the R-7 / spreadsheet method).
+// It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	h := q * float64(n-1)
+	lo := int(math.Floor(h))
+	frac := h - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Whisker is the five-number/outlier summary drawn by the paper's Whisker
+// plots: first quartile, median, third quartile, the whisker extents at
+// Q1−1.5·IQR and Q3+1.5·IQR (clamped to observed data), and the outliers
+// beyond them.
+type Whisker struct {
+	N              int
+	Q1, Median, Q3 float64
+	IQR            float64
+	LowFence       float64 // Q1 − 1.5·IQR
+	HighFence      float64 // Q3 + 1.5·IQR
+	WhiskerLow     float64 // smallest observation ≥ LowFence
+	WhiskerHi      float64 // largest observation ≤ HighFence
+	Outliers       []float64
+}
+
+// NewWhisker computes the whisker summary of xs. It returns a zero-count
+// Whisker (with NaN statistics) for an empty slice.
+func NewWhisker(xs []float64) Whisker {
+	w := Whisker{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		w.Q1, w.Median, w.Q3 = nan, nan, nan
+		w.IQR, w.LowFence, w.HighFence = nan, nan, nan
+		w.WhiskerLow, w.WhiskerHi = nan, nan
+		return w
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	w.Q1 = quantileSorted(sorted, 0.25)
+	w.Median = quantileSorted(sorted, 0.5)
+	w.Q3 = quantileSorted(sorted, 0.75)
+	w.IQR = w.Q3 - w.Q1
+	w.LowFence = w.Q1 - 1.5*w.IQR
+	w.HighFence = w.Q3 + 1.5*w.IQR
+	w.WhiskerLow = math.NaN()
+	w.WhiskerHi = math.NaN()
+	for _, x := range sorted {
+		if x < w.LowFence || x > w.HighFence {
+			w.Outliers = append(w.Outliers, x)
+			continue
+		}
+		if math.IsNaN(w.WhiskerLow) {
+			w.WhiskerLow = x
+		}
+		w.WhiskerHi = x
+	}
+	// Degenerate case: everything is an outlier (cannot happen with
+	// 1.5·IQR fences, but keep the struct well-formed for robustness).
+	if math.IsNaN(w.WhiskerLow) {
+		w.WhiskerLow, w.WhiskerHi = w.Q1, w.Q3
+	}
+	return w
+}
+
+// String renders the whisker summary on one line.
+func (w Whisker) String() string {
+	return fmt.Sprintf("Q1=%.2f med=%.2f Q3=%.2f whiskers=[%.2f,%.2f] outliers=%d (n=%d)",
+		w.Q1, w.Median, w.Q3, w.WhiskerLow, w.WhiskerHi, len(w.Outliers), w.N)
+}
+
+// Ratio returns a/b expressed as the percentage the paper's relative
+// figures use (Figure 10 plots everything "relative to MPTCP"). A zero
+// denominator yields NaN.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b * 100
+}
+
+// TimeSeries accumulates (time, value) samples, e.g. accumulated energy or
+// instantaneous throughput traces (Figures 7, 9 and 12).
+type TimeSeries struct {
+	T []float64
+	V []float64
+}
+
+// Add appends a sample. Samples must be added in nondecreasing time order.
+func (ts *TimeSeries) Add(t, v float64) {
+	if n := len(ts.T); n > 0 && t < ts.T[n-1] {
+		panic("stats: TimeSeries samples must be time-ordered")
+	}
+	ts.T = append(ts.T, t)
+	ts.V = append(ts.V, v)
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.T) }
+
+// Last returns the final sample, or NaNs when empty.
+func (ts *TimeSeries) Last() (t, v float64) {
+	if len(ts.T) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return ts.T[len(ts.T)-1], ts.V[len(ts.V)-1]
+}
+
+// At returns the value at time t using step interpolation (the value of
+// the latest sample at or before t). Before the first sample it returns 0.
+func (ts *TimeSeries) At(t float64) float64 {
+	i := sort.SearchFloat64s(ts.T, t)
+	// i is the first index with T[i] >= t.
+	if i < len(ts.T) && ts.T[i] == t {
+		// Multiple samples can share a timestamp; take the last.
+		for i+1 < len(ts.T) && ts.T[i+1] == t {
+			i++
+		}
+		return ts.V[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return ts.V[i-1]
+}
+
+// Resample returns the series evaluated at a regular grid with the given
+// step from 0 through end, using step interpolation.
+func (ts *TimeSeries) Resample(step, end float64) *TimeSeries {
+	out := &TimeSeries{}
+	if step <= 0 {
+		return out
+	}
+	for t := 0.0; t <= end+1e-9; t += step {
+		out.Add(t, ts.At(t))
+	}
+	return out
+}
+
+// Rate converts a cumulative series into a windowed rate series: the value
+// at each output point is (V(t) − V(t−window)) / window. Used to turn
+// cumulative bytes into throughput traces.
+func (ts *TimeSeries) Rate(window, step, end float64) *TimeSeries {
+	out := &TimeSeries{}
+	if window <= 0 || step <= 0 {
+		return out
+	}
+	for t := step; t <= end+1e-9; t += step {
+		lo := math.Max(0, t-window)
+		dv := ts.At(t) - ts.At(lo)
+		out.Add(t, dv/(t-lo))
+	}
+	return out
+}

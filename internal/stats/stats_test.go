@@ -1,0 +1,269 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestStdDevMatchesPaperEquation(t *testing.T) {
+	// Equation 2: s = sqrt( 1/(n-1) * sum (xi - xbar)^2 ).
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// mean = 5, sum sq dev = 32, s = sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if got := StdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of one sample should be 0")
+	}
+}
+
+func TestSEM(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0/7.0) / math.Sqrt(8)
+	if got := SEM(xs); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SEM = %v, want %v", got, want)
+	}
+	if !math.IsNaN(SEM(nil)) {
+		t.Error("SEM(nil) should be NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 5, 3})
+	if s.N != 3 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) || !math.IsNaN(empty.Min) {
+		t.Errorf("empty Summary = %+v", empty)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation: quantile 0.5 of {1,2,3,4} is 2.5.
+	if got := Quantile([]float64{4, 1, 3, 2}, 0.5); got != 2.5 {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v, want 7", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestWhisker(t *testing.T) {
+	// Data with one clear high outlier.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 100}
+	w := NewWhisker(xs)
+	if w.N != 9 {
+		t.Errorf("N = %d", w.N)
+	}
+	if w.Median != 5 {
+		t.Errorf("median = %v, want 5", w.Median)
+	}
+	if len(w.Outliers) != 1 || w.Outliers[0] != 100 {
+		t.Errorf("outliers = %v, want [100]", w.Outliers)
+	}
+	if w.WhiskerHi != 8 {
+		t.Errorf("whisker high = %v, want 8", w.WhiskerHi)
+	}
+	if w.WhiskerLow != 1 {
+		t.Errorf("whisker low = %v, want 1", w.WhiskerLow)
+	}
+}
+
+func TestWhiskerEmpty(t *testing.T) {
+	w := NewWhisker(nil)
+	if w.N != 0 || !math.IsNaN(w.Median) {
+		t.Errorf("empty whisker = %+v", w)
+	}
+}
+
+func TestWhiskerProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		w := NewWhisker(xs)
+		// Quartiles ordered.
+		if !(w.Q1 <= w.Median && w.Median <= w.Q3) {
+			return false
+		}
+		// Outlier count + in-fence count == N.
+		in := 0
+		for _, x := range xs {
+			if x >= w.LowFence && x <= w.HighFence {
+				in++
+			}
+		}
+		if in+len(w.Outliers) != w.N {
+			return false
+		}
+		// Whiskers inside fences.
+		return w.WhiskerLow >= w.LowFence-1e-9 && w.WhiskerHi <= w.HighFence+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		q1 := float64(qa%101) / 100
+		q2 := float64(qb%101) / 100
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(80, 100); got != 80 {
+		t.Errorf("Ratio = %v, want 80", got)
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Error("Ratio with zero denominator should be NaN")
+	}
+}
+
+func TestTimeSeriesAt(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(0, 0)
+	ts.Add(1, 10)
+	ts.Add(2, 30)
+	if got := ts.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v, want 0", got)
+	}
+	if got := ts.At(1); got != 10 {
+		t.Errorf("At(1) = %v, want 10", got)
+	}
+	if got := ts.At(1.5); got != 10 {
+		t.Errorf("At(1.5) = %v, want 10", got)
+	}
+	if got := ts.At(5); got != 30 {
+		t.Errorf("At(5) = %v, want 30 (step-hold)", got)
+	}
+	if got := ts.At(-1); got != 0 {
+		t.Errorf("At(-1) = %v, want 0", got)
+	}
+}
+
+func TestTimeSeriesDuplicateTimestamps(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(1, 10)
+	ts.Add(1, 20)
+	if got := ts.At(1); got != 20 {
+		t.Errorf("At(1) with duplicates = %v, want last value 20", got)
+	}
+}
+
+func TestTimeSeriesOrderPanics(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order Add did not panic")
+		}
+	}()
+	ts.Add(1, 1)
+}
+
+func TestTimeSeriesLast(t *testing.T) {
+	ts := &TimeSeries{}
+	if tt, v := ts.Last(); !math.IsNaN(tt) || !math.IsNaN(v) {
+		t.Error("empty Last should be NaN")
+	}
+	ts.Add(3, 7)
+	if tt, v := ts.Last(); tt != 3 || v != 7 {
+		t.Errorf("Last = (%v,%v)", tt, v)
+	}
+}
+
+func TestResample(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(0, 0)
+	ts.Add(2, 20)
+	r := ts.Resample(1, 4)
+	if r.Len() != 5 {
+		t.Fatalf("resample len = %d, want 5", r.Len())
+	}
+	want := []float64{0, 0, 20, 20, 20}
+	for i, w := range want {
+		if r.V[i] != w {
+			t.Errorf("resample[%d] = %v, want %v", i, r.V[i], w)
+		}
+	}
+	if got := ts.Resample(0, 4); got.Len() != 0 {
+		t.Error("zero-step resample should be empty")
+	}
+}
+
+func TestRate(t *testing.T) {
+	// Cumulative bytes growing at 10 per second.
+	ts := &TimeSeries{}
+	for i := 0; i <= 10; i++ {
+		ts.Add(float64(i), float64(i*10))
+	}
+	r := ts.Rate(2, 1, 10)
+	// After the initial ramp the rate should be 10 everywhere.
+	for i, v := range r.V {
+		if r.T[i] >= 2 && math.Abs(v-10) > 1e-9 {
+			t.Errorf("rate at t=%v is %v, want 10", r.T[i], v)
+		}
+	}
+}
+
+func TestRateSortedTimestamps(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(0, 0)
+	ts.Add(5, 100)
+	r := ts.Rate(1, 0.5, 6)
+	if !sort.Float64sAreSorted(r.T) {
+		t.Error("rate output timestamps not sorted")
+	}
+}

@@ -1,0 +1,34 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/units"
+)
+
+// benchSink feeds a subflow endlessly.
+type benchSink struct{}
+
+func (benchSink) Request(sf *Subflow, max units.ByteSize) units.ByteSize { return max }
+func (benchSink) Delivered(*Subflow, units.ByteSize)                     {}
+func (benchSink) Returned(*Subflow, units.ByteSize)                      {}
+func (benchSink) IncreasePerRTT(*Subflow) float64                        { return 1 }
+
+// BenchmarkSubflowRounds measures the fluid model's cost per simulated
+// transmission round.
+func BenchmarkSubflowRounds(b *testing.B) {
+	eng := sim.New()
+	path := &Path{Name: "b", Capacity: link.NewConstant(units.MbpsRate(10)), BaseRTT: 0.05}
+	sf := NewSubflow("b", eng, simrng.New(1), path, DefaultConfig(), benchSink{})
+	sf.Connect(0)
+	b.ResetTimer()
+	for sf.Rounds < b.N {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+	b.ReportMetric(float64(sf.Rounds)/float64(b.N), "rounds/op")
+}

@@ -1,0 +1,370 @@
+// Package tcp models a TCP subflow at fluid-round granularity: each round
+// one congestion window of data is sent over the path and acknowledged one
+// RTT later, with slow start, congestion avoidance, fast-recovery halving,
+// timeout backoff when the path is dead, and the RFC 2861 idle
+// congestion-window reset that eMPTCP selectively disables for resumed
+// subflows (§3.6 of the paper).
+//
+// The fluid model reproduces TCP's throughput dynamics — slow-start ramp,
+// AIMD sawtooth tracking available bandwidth, multiplexed fair sharing —
+// at a tiny fraction of per-packet simulation cost, which the experiment
+// harness needs (hundreds of multi-hundred-megabyte downloads per table).
+package tcp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/units"
+)
+
+// Config carries the TCP parameters of a subflow.
+type Config struct {
+	// MSS is the maximum segment size.
+	MSS units.ByteSize
+	// InitialWindow is the initial congestion window in segments
+	// (RFC 6928's IW10 is the modern default and what the paper's
+	// equation 1 calls W_init).
+	InitialWindow float64
+	// MaxWindow caps the congestion window in segments (receive window).
+	MaxWindow float64
+	// MinRTO is the minimum retransmission timeout in seconds.
+	MinRTO float64
+	// DisableIdleCwndReset turns off the RFC 2861 congestion-window reset
+	// after an idle period longer than the RTO. eMPTCP sets this for
+	// resumed subflows so they avoid a needless slow start (§3.6).
+	DisableIdleCwndReset bool
+	// RTTJitter is the fractional jitter applied to each round's RTT.
+	RTTJitter float64
+}
+
+// DefaultConfig returns standard host TCP parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:           1460,
+		InitialWindow: 10,
+		MaxWindow:     1024,
+		MinRTO:        1.0,
+		RTTJitter:     0.08,
+	}
+}
+
+// Path is one end-to-end network path (interface pair). Concurrent
+// subflows on the same path share its capacity equally, as 802.11 DCF and
+// router queues do over TCP timescales.
+type Path struct {
+	// Name identifies the path in logs ("wifi", "lte").
+	Name string
+	// Capacity is the available-bandwidth process.
+	Capacity link.Process
+	// BaseRTT is the path's propagation RTT in seconds.
+	BaseRTT float64
+	// ExtraLoss, when non-nil, returns an additional per-packet random
+	// loss probability (e.g. contention collisions).
+	ExtraLoss func() float64
+
+	active int // subflows with a round in progress
+}
+
+// LossProb returns the path's current per-packet random loss probability.
+func (p *Path) LossProb() float64 {
+	if p.ExtraLoss != nil {
+		return p.ExtraLoss()
+	}
+	if lp, ok := p.Capacity.(link.LossProcess); ok {
+		return lp.LossProb()
+	}
+	return 0
+}
+
+// share returns the capacity available to one of the currently-active
+// subflows.
+func (p *Path) share() units.BitRate {
+	n := p.active
+	if n < 1 {
+		n = 1
+	}
+	return p.Capacity.Rate() / units.BitRate(n)
+}
+
+// State is a subflow's lifecycle position.
+type State int
+
+// Subflow states.
+const (
+	Closed State = iota
+	Connecting
+	Established
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "CLOSED"
+	case Connecting:
+		return "CONNECTING"
+	case Established:
+		return "ESTABLISHED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// DataSource supplies a subflow with data and receives its deliveries.
+// The MPTCP connection implements it; a plain single-path TCP download
+// implements it trivially.
+type DataSource interface {
+	// Request asks for up to max bytes to send this round. Returning 0
+	// idles the subflow until Kick is called.
+	Request(sf *Subflow, max units.ByteSize) units.ByteSize
+	// Delivered reports bytes that arrived at the receiver.
+	Delivered(sf *Subflow, n units.ByteSize)
+	// Returned hands back bytes that could not be transmitted because
+	// the path was dead (zero capacity through a whole timeout).
+	Returned(sf *Subflow, n units.ByteSize)
+	// IncreasePerRTT returns the congestion-avoidance window increase in
+	// segments for this subflow's next round: 1 for uncoupled Reno, the
+	// LIA coupled value for standard MPTCP.
+	IncreasePerRTT(sf *Subflow) float64
+}
+
+// Subflow is one TCP flow over a Path.
+type Subflow struct {
+	// ID tags the subflow for logs and scheduling.
+	ID string
+	// Meta carries caller-defined context (the MPTCP layer stores the
+	// interface identity here).
+	Meta any
+
+	eng    *sim.Engine
+	src    *simrng.Source
+	path   *Path
+	cfg    Config
+	source DataSource
+
+	state    State
+	cwnd     float64 // segments
+	ssthresh float64 // segments
+	srtt     float64 // smoothed RTT estimate, seconds
+
+	suspended  bool
+	inRound    bool
+	lastSendAt float64 // end of the most recent active round
+	everSent   bool
+
+	// HandshakeRTT is the RTT measured during establishment (the paper
+	// uses it to set the bandwidth-predictor sampling interval δ).
+	HandshakeRTT float64
+
+	// BytesDelivered counts cumulative bytes delivered to the receiver.
+	BytesDelivered units.ByteSize
+	// Rounds counts transmission rounds.
+	Rounds int
+	// Losses counts loss events (halvings plus timeouts).
+	Losses int
+
+	// OnEstablished, when non-nil, fires once the handshake completes.
+	OnEstablished func(sf *Subflow)
+}
+
+// NewSubflow builds a closed subflow over path. Call Connect to start it.
+func NewSubflow(id string, eng *sim.Engine, src *simrng.Source, path *Path, cfg Config, source DataSource) *Subflow {
+	if cfg.MSS <= 0 || cfg.InitialWindow <= 0 || cfg.MaxWindow < cfg.InitialWindow || cfg.MinRTO <= 0 {
+		panic("tcp: invalid subflow config")
+	}
+	return &Subflow{
+		ID:     id,
+		eng:    eng,
+		src:    src,
+		path:   path,
+		cfg:    cfg,
+		source: source,
+	}
+}
+
+// Path returns the subflow's path.
+func (sf *Subflow) Path() *Path { return sf.path }
+
+// State returns the subflow's lifecycle state.
+func (sf *Subflow) State() State { return sf.state }
+
+// Cwnd returns the congestion window in segments.
+func (sf *Subflow) Cwnd() float64 { return sf.cwnd }
+
+// SRTT returns the smoothed RTT estimate in seconds (the handshake RTT
+// until data rounds refine it).
+func (sf *Subflow) SRTT() float64 { return sf.srtt }
+
+// Suspended reports whether the subflow is in backup (MP_PRIO) mode.
+func (sf *Subflow) Suspended() bool { return sf.suspended }
+
+// rtt samples the path RTT with jitter.
+func (sf *Subflow) rtt() float64 {
+	return sf.src.Jitter(sf.path.BaseRTT, sf.cfg.RTTJitter)
+}
+
+// rto returns the current retransmission timeout.
+func (sf *Subflow) rto() float64 {
+	return math.Max(sf.cfg.MinRTO, 2*sf.srtt)
+}
+
+// Connect starts the three-way handshake, taking extraDelay seconds before
+// the SYN leaves (e.g. a cellular radio promotion). The subflow becomes
+// Established one handshake-RTT later and begins transmitting.
+func (sf *Subflow) Connect(extraDelay float64) {
+	if sf.state != Closed {
+		panic("tcp: Connect on a non-closed subflow")
+	}
+	sf.state = Connecting
+	hsRTT := sf.rtt()
+	sf.eng.After(extraDelay+hsRTT, func() {
+		sf.state = Established
+		sf.HandshakeRTT = hsRTT
+		sf.srtt = hsRTT
+		sf.cwnd = sf.cfg.InitialWindow
+		sf.ssthresh = sf.cfg.MaxWindow
+		sf.lastSendAt = sf.eng.Now()
+		if sf.OnEstablished != nil {
+			sf.OnEstablished(sf)
+		}
+		sf.Kick()
+	})
+}
+
+// Suspend places the subflow in backup mode (the MP_PRIO low-priority
+// signal): it finishes the round in flight and then requests no more data.
+func (sf *Subflow) Suspend() { sf.suspended = true }
+
+// Resume lifts backup mode. Per RFC 2861, a window that sat idle longer
+// than the RTO collapses back to the initial window — unless the
+// configuration disables the reset, which is exactly eMPTCP's fast-reuse
+// modification (§3.6). In that mode the measured RTT is also zeroed, so
+// the min-RTT scheduler immediately re-probes the renewed subflow instead
+// of starving it behind lower-RTT peers.
+func (sf *Subflow) Resume() {
+	if !sf.suspended {
+		return
+	}
+	sf.suspended = false
+	sf.applyIdleReset()
+	if sf.cfg.DisableIdleCwndReset {
+		sf.srtt = 1e-3 // §3.6: report ~zero RTT until data rounds re-measure it
+	}
+	sf.Kick()
+}
+
+// Kick restarts the round loop of an established, idle subflow. The data
+// source calls it when new data becomes available.
+func (sf *Subflow) Kick() {
+	if sf.state != Established || sf.suspended || sf.inRound {
+		return
+	}
+	sf.applyIdleReset()
+	sf.startRound()
+}
+
+// applyIdleReset implements RFC 2861: reset cwnd after an idle period
+// longer than the RTO, unless disabled.
+func (sf *Subflow) applyIdleReset() {
+	if sf.cfg.DisableIdleCwndReset || !sf.everSent {
+		return
+	}
+	if sf.eng.Now()-sf.lastSendAt > sf.rto() {
+		sf.cwnd = sf.cfg.InitialWindow
+		sf.ssthresh = sf.cfg.MaxWindow
+	}
+}
+
+// startRound begins one transmission round.
+func (sf *Subflow) startRound() {
+	want := units.ByteSize(sf.cwnd) * sf.cfg.MSS
+	n := sf.source.Request(sf, want)
+	if n <= 0 {
+		return // idle until Kick
+	}
+	sf.inRound = true
+	sf.everSent = true
+	sf.path.active++
+
+	share := sf.path.share()
+	rtt := sf.rtt()
+
+	if share <= 0 {
+		// Dead path: nothing moves for a full RTO, then the data is
+		// returned (the sender would retransmit; the connection may
+		// reinject it on another subflow) and the window collapses.
+		timeout := sf.rto()
+		sf.eng.After(timeout, func() {
+			sf.path.active--
+			sf.inRound = false
+			sf.Losses++
+			sf.cwnd = sf.cfg.InitialWindow
+			sf.ssthresh = math.Max(sf.ssthresh/2, 2)
+			sf.lastSendAt = sf.eng.Now()
+			sf.source.Returned(sf, n)
+			// Retry while data remains queued for us.
+			sf.startRound()
+		})
+		return
+	}
+
+	offered := units.BitRate(n.Bits() / rtt)
+	congested := offered > share
+	// Round duration: the self-clocked RTT, stretched when the pipe
+	// cannot carry a full window per RTT.
+	dur := math.Max(rtt, n.Bits()/float64(share))
+
+	// Random per-packet loss aggregated to a per-round loss event.
+	pkts := math.Max(1, float64(n)/float64(sf.cfg.MSS))
+	pRound := 1 - math.Pow(1-sf.path.LossProb(), pkts)
+	lost := congested || sf.src.Bernoulli(pRound)
+
+	sf.eng.After(dur, func() {
+		sf.path.active--
+		sf.inRound = false
+		sf.Rounds++
+		sf.lastSendAt = sf.eng.Now()
+		// Update the smoothed RTT with this round's effective duration.
+		sf.srtt = 0.875*sf.srtt + 0.125*dur
+
+		if lost {
+			sf.Losses++
+			sf.ssthresh = math.Max(sf.cwnd/2, 2)
+			sf.cwnd = sf.ssthresh // fast recovery, not timeout
+		} else if sf.cwnd < sf.ssthresh {
+			sf.cwnd = math.Min(sf.cwnd*2, sf.ssthresh) // slow start
+		} else {
+			sf.cwnd += sf.source.IncreasePerRTT(sf) // congestion avoidance
+		}
+		sf.cwnd = math.Min(sf.cwnd, sf.cfg.MaxWindow)
+		sf.cwnd = math.Max(sf.cwnd, 1)
+
+		// The fluid model delivers the round's bytes reliably; loss is
+		// reflected in window dynamics (retransmissions ride inside the
+		// stretched round duration).
+		sf.BytesDelivered += n
+		sf.source.Delivered(sf, n)
+		if !sf.suspended {
+			sf.startRound()
+		}
+	})
+}
+
+// Throughput returns the subflow's smoothed current goodput estimate:
+// cwnd·MSS per smoothed RTT, bounded by its capacity share. It is the
+// instantaneous quantity the paper's Figure 9 plots.
+func (sf *Subflow) Throughput() units.BitRate {
+	if sf.state != Established || sf.srtt <= 0 {
+		return 0
+	}
+	w := units.BitRate((units.ByteSize(sf.cwnd) * sf.cfg.MSS).Bits() / sf.srtt)
+	share := sf.path.share()
+	if w > share {
+		return share
+	}
+	return w
+}

@@ -1,0 +1,250 @@
+// Package units provides the quantity types shared across the simulator:
+// data sizes, data rates, energies and powers.
+//
+// All quantities are represented as float64 in a canonical unit (bytes,
+// bits per second, joules, watts, seconds) with strongly typed wrappers so
+// that rates and sizes cannot be confused. Conversions are explicit and
+// formatting follows the conventions used in the eMPTCP paper (Mbps for
+// rates, J for energies, MB for file sizes).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ByteSize is an amount of data in bytes.
+type ByteSize float64
+
+// Common data sizes.
+const (
+	Byte ByteSize = 1
+	KB   ByteSize = 1 << 10
+	MB   ByteSize = 1 << 20
+	GB   ByteSize = 1 << 30
+)
+
+// Bytes returns the size as a plain float64 number of bytes.
+func (b ByteSize) Bytes() float64 { return float64(b) }
+
+// Bits returns the size in bits.
+func (b ByteSize) Bits() float64 { return float64(b) * 8 }
+
+// Megabytes returns the size in binary megabytes.
+func (b ByteSize) Megabytes() float64 { return float64(b / MB) }
+
+// String formats the size with a binary-prefix unit, e.g. "16.0 MB".
+func (b ByteSize) String() string {
+	abs := math.Abs(float64(b))
+	switch {
+	case abs >= float64(GB):
+		return fmt.Sprintf("%.2f GB", float64(b/GB))
+	case abs >= float64(MB):
+		return fmt.Sprintf("%.1f MB", float64(b/MB))
+	case abs >= float64(KB):
+		return fmt.Sprintf("%.1f KB", float64(b/KB))
+	default:
+		return fmt.Sprintf("%.0f B", float64(b))
+	}
+}
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+// Common data rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps         BitRate = 1e3
+	Mbps         BitRate = 1e6
+	Gbps         BitRate = 1e9
+)
+
+// Mbit returns the rate in megabits per second, the unit used throughout
+// the paper's figures and tables.
+func (r BitRate) Mbit() float64 { return float64(r / Mbps) }
+
+// BytesPerSecond returns the rate in bytes per second.
+func (r BitRate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// String formats the rate in the most natural decimal unit.
+func (r BitRate) String() string {
+	abs := math.Abs(float64(r))
+	switch {
+	case abs >= float64(Gbps):
+		return fmt.Sprintf("%.2f Gbps", float64(r/Gbps))
+	case abs >= float64(Mbps):
+		return fmt.Sprintf("%.2f Mbps", float64(r/Mbps))
+	case abs >= float64(Kbps):
+		return fmt.Sprintf("%.1f Kbps", float64(r/Kbps))
+	default:
+		return fmt.Sprintf("%.0f bps", float64(r))
+	}
+}
+
+// MbpsRate builds a BitRate from a megabits-per-second value.
+func MbpsRate(v float64) BitRate { return BitRate(v) * Mbps }
+
+// TimeToSend returns how long transferring size at this rate takes.
+// A non-positive rate yields +Inf.
+func (r BitRate) TimeToSend(size ByteSize) time.Duration {
+	if r <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := size.Bits() / float64(r)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Transfer returns how much data moves at this rate over d.
+func (r BitRate) Transfer(d time.Duration) ByteSize {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return ByteSize(float64(r) / 8 * d.Seconds())
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy quantities.
+const (
+	Joule      Energy = 1
+	Millijoule Energy = 1e-3
+	Microjoule Energy = 1e-6
+)
+
+// Joules returns the energy as a plain float64 number of joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// String formats the energy, e.g. "12.3 J".
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.2f J", float64(e))
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.2f mJ", float64(e)*1e3)
+	default:
+		return fmt.Sprintf("%.2f µJ", float64(e)*1e6)
+	}
+}
+
+// PerByte returns the per-byte energy of spending e over size bytes.
+// A non-positive size yields +Inf.
+func (e Energy) PerByte(size ByteSize) float64 {
+	if size <= 0 {
+		return math.Inf(1)
+	}
+	return float64(e) / float64(size)
+}
+
+// Power is a rate of energy use in watts.
+type Power float64
+
+// Common power quantities.
+const (
+	Watt      Power = 1
+	Milliwatt Power = 1e-3
+)
+
+// Watts returns the power as a plain float64 number of watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// MilliwattPower builds a Power from a milliwatt value, the unit used by
+// the smartphone power-model literature.
+func MilliwattPower(v float64) Power { return Power(v) * Milliwatt }
+
+// String formats the power, e.g. "1288 mW".
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	if abs >= 1 {
+		return fmt.Sprintf("%.2f W", float64(p))
+	}
+	return fmt.Sprintf("%.0f mW", float64(p)*1e3)
+}
+
+// Over integrates the power over duration d, yielding energy.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Seconds converts a duration to float64 seconds. It exists so call sites
+// read uniformly with the rest of this package.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// Duration converts float64 seconds to a time.Duration, saturating at the
+// representable range.
+func Duration(sec float64) time.Duration {
+	if math.IsInf(sec, 1) || sec > math.MaxInt64/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	if sec < 0 {
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ParseByteSize parses strings like "256KB", "16 MB", "1.5GB" or a plain
+// byte count ("2048"). Units are binary (KB = 1024 B).
+func ParseByteSize(s string) (ByteSize, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	switch strings.ToUpper(unit) {
+	case "", "B":
+		return ByteSize(v), nil
+	case "KB":
+		return ByteSize(v) * KB, nil
+	case "MB":
+		return ByteSize(v) * MB, nil
+	case "GB":
+		return ByteSize(v) * GB, nil
+	default:
+		return 0, fmt.Errorf("units: unknown size unit %q in %q", unit, s)
+	}
+}
+
+// ParseBitRate parses strings like "4.5Mbps", "500 Kbps", "1Gbps" or a
+// plain bits-per-second count.
+func ParseBitRate(s string) (BitRate, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad rate %q: %w", s, err)
+	}
+	switch strings.ToLower(unit) {
+	case "", "bps":
+		return BitRate(v), nil
+	case "kbps":
+		return BitRate(v) * Kbps, nil
+	case "mbps":
+		return BitRate(v) * Mbps, nil
+	case "gbps":
+		return BitRate(v) * Gbps, nil
+	default:
+		return 0, fmt.Errorf("units: unknown rate unit %q in %q", unit, s)
+	}
+}
+
+// splitQuantity separates "12.5 MB" into (12.5, "MB").
+func splitQuantity(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	i := 0
+	for i < len(s) && (s[i] == '.' || s[i] == '-' || s[i] == '+' || (s[i] >= '0' && s[i] <= '9')) {
+		i++
+	}
+	num, unit := s[:i], strings.TrimSpace(s[i:])
+	if num == "" {
+		return 0, "", fmt.Errorf("no number")
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, "", err
+	}
+	if v < 0 {
+		return 0, "", fmt.Errorf("negative quantity")
+	}
+	return v, unit, nil
+}

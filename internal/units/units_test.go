@@ -1,0 +1,231 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestByteSizeConversions(t *testing.T) {
+	if got := (1 * MB).Bytes(); got != 1048576 {
+		t.Errorf("1 MB = %v bytes, want 1048576", got)
+	}
+	if got := (1 * KB).Bits(); got != 8192 {
+		t.Errorf("1 KB = %v bits, want 8192", got)
+	}
+	if got := (256 * MB).Megabytes(); got != 256 {
+		t.Errorf("256 MB = %v MB, want 256", got)
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{512 * Byte, "512 B"},
+		{256 * KB, "256.0 KB"},
+		{16 * MB, "16.0 MB"},
+		{2 * GB, "2.00 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBitRateConversions(t *testing.T) {
+	if got := MbpsRate(10).Mbit(); got != 10 {
+		t.Errorf("MbpsRate(10).Mbit() = %v, want 10", got)
+	}
+	if got := MbpsRate(8).BytesPerSecond(); got != 1e6 {
+		t.Errorf("8 Mbps = %v B/s, want 1e6", got)
+	}
+}
+
+func TestTimeToSend(t *testing.T) {
+	// 1 MB at 8 Mbps is ~1.048576 s (binary MB, decimal Mbps).
+	d := MbpsRate(8).TimeToSend(1 * MB)
+	if !almostEqual(d.Seconds(), 1.048576, 1e-9) {
+		t.Errorf("1MB @ 8Mbps = %v, want ~1.048576s", d)
+	}
+	if d := BitRate(0).TimeToSend(MB); d != time.Duration(math.MaxInt64) {
+		t.Errorf("zero rate should take forever, got %v", d)
+	}
+	if d := BitRate(-5).TimeToSend(MB); d != time.Duration(math.MaxInt64) {
+		t.Errorf("negative rate should take forever, got %v", d)
+	}
+}
+
+func TestTransfer(t *testing.T) {
+	got := MbpsRate(8).Transfer(2 * time.Second)
+	if !almostEqual(got.Bytes(), 2e6, 1e-12) {
+		t.Errorf("8 Mbps over 2 s = %v bytes, want 2e6", got.Bytes())
+	}
+	if got := MbpsRate(8).Transfer(-time.Second); got != 0 {
+		t.Errorf("negative duration transfer = %v, want 0", got)
+	}
+	if got := BitRate(-1).Transfer(time.Second); got != 0 {
+		t.Errorf("negative rate transfer = %v, want 0", got)
+	}
+}
+
+func TestTransferRoundTrip(t *testing.T) {
+	// Transferring for TimeToSend(size) should move exactly size.
+	f := func(sizeKB uint16, mbps uint8) bool {
+		if mbps == 0 {
+			return true
+		}
+		size := ByteSize(sizeKB) * KB
+		rate := MbpsRate(float64(mbps))
+		moved := rate.Transfer(rate.TimeToSend(size))
+		return almostEqual(moved.Bytes(), size.Bytes(), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerOver(t *testing.T) {
+	e := MilliwattPower(1000).Over(10 * time.Second)
+	if !almostEqual(e.Joules(), 10, 1e-12) {
+		t.Errorf("1 W over 10 s = %v, want 10 J", e)
+	}
+}
+
+func TestEnergyPerByte(t *testing.T) {
+	e := Energy(2)
+	if got := e.PerByte(2 * Byte); got != 1 {
+		t.Errorf("2 J / 2 B = %v, want 1", got)
+	}
+	if got := e.PerByte(0); !math.IsInf(got, 1) {
+		t.Errorf("per-byte of zero size = %v, want +Inf", got)
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		in   Energy
+		want string
+	}{
+		{12.3, "12.30 J"},
+		{0.0123, "12.30 mJ"},
+		{0.0000123, "12.30 µJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	if got := MilliwattPower(1288).String(); got != "1.29 W" {
+		t.Errorf("got %q", got)
+	}
+	if got := MilliwattPower(133).String(); got != "133 mW" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{MbpsRate(10), "10.00 Mbps"},
+		{500 * Kbps, "500.0 Kbps"},
+		{2 * Gbps, "2.00 Gbps"},
+		{42, "42 bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if got := Duration(1.5); got != 1500*time.Millisecond {
+		t.Errorf("Duration(1.5) = %v", got)
+	}
+	if got := Duration(-1); got != 0 {
+		t.Errorf("Duration(-1) = %v, want 0", got)
+	}
+	if got := Duration(math.Inf(1)); got != time.Duration(math.MaxInt64) {
+		t.Errorf("Duration(+Inf) = %v, want max", got)
+	}
+	if got := Seconds(2500 * time.Millisecond); got != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", got)
+	}
+}
+
+func TestDurationSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint32) bool {
+		d := time.Duration(ms) * time.Millisecond
+		got := Duration(Seconds(d))
+		diff := got - d
+		if diff < 0 {
+			diff = -diff
+		}
+		// Large durations lose sub-microsecond precision through the
+		// float64 seconds representation.
+		return diff <= time.Microsecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+	}{
+		{"256KB", 256 * KB},
+		{"16 MB", 16 * MB},
+		{"1.5GB", 1.5 * GB},
+		{"2048", 2048},
+		{" 4 kb ", 4 * KB},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseByteSize(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "MB", "-4MB", "12XB", "1.2.3MB"} {
+		if _, err := ParseByteSize(bad); err == nil {
+			t.Errorf("ParseByteSize(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BitRate
+	}{
+		{"4.5Mbps", MbpsRate(4.5)},
+		{"500 Kbps", 500 * Kbps},
+		{"1gbps", Gbps},
+		{"64", 64},
+	}
+	for _, c := range cases {
+		got, err := ParseBitRate(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseBitRate(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "-1Mbps", "3MBps2"} {
+		if _, err := ParseBitRate(bad); err == nil {
+			t.Errorf("ParseBitRate(%q) succeeded", bad)
+		}
+	}
+}

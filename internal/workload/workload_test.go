@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/units"
+)
+
+// fakeConn completes every request after a simulated per-byte latency.
+type fakeConn struct {
+	eng  *sim.Engine
+	rate float64 // bytes per second
+	busy float64 // time the connection frees up
+	got  []units.ByteSize
+	put  []units.ByteSize
+}
+
+func (c *fakeConn) Get(size units.ByteSize, onComplete func(at float64)) {
+	c.got = append(c.got, size)
+	c.transfer(size, onComplete)
+}
+
+// Put uploads at the same fake rate.
+func (c *fakeConn) Put(size units.ByteSize, onComplete func(at float64)) {
+	c.put = append(c.put, size)
+	c.transfer(size, onComplete)
+}
+
+func (c *fakeConn) transfer(size units.ByteSize, onComplete func(at float64)) {
+	start := c.busy
+	if now := c.eng.Now(); start < now {
+		start = now
+	}
+	done := start + float64(size)/c.rate
+	c.busy = done
+	if onComplete != nil {
+		c.eng.Schedule(done, func() { onComplete(done) })
+	}
+}
+
+func TestFileDownload(t *testing.T) {
+	eng := sim.New()
+	conn := &fakeConn{eng: eng, rate: 1e6}
+	var conns int
+	open := func() Conn { conns++; return conn }
+	doneAt := -1.0
+	FileDownload{Size: 2 * units.MB}.Launch(eng, simrng.New(1), open, func(at float64) { doneAt = at })
+	eng.Run()
+	if conns != 1 {
+		t.Errorf("opened %d connections, want 1", conns)
+	}
+	if len(conn.got) != 1 || conn.got[0] != 2*units.MB {
+		t.Errorf("requests = %v", conn.got)
+	}
+	if doneAt <= 0 {
+		t.Error("done callback never fired")
+	}
+	if got := (FileDownload{Size: 2 * units.MB}).TotalBytes(); got != 2*units.MB {
+		t.Errorf("TotalBytes = %v", got)
+	}
+}
+
+func TestBulkNeverCompletesRealistically(t *testing.T) {
+	eng := sim.New()
+	conn := &fakeConn{eng: eng, rate: 1e6}
+	(Bulk{}).Launch(eng, simrng.New(1), func() Conn { return conn }, func(float64) {
+		t.Error("bulk should not complete at realistic rates")
+	})
+	eng.RunUntil(10000)
+	if (Bulk{}).TotalBytes() != 0 {
+		t.Error("bulk TotalBytes should be 0 (unbounded)")
+	}
+}
+
+func TestWebPageSizes(t *testing.T) {
+	w := DefaultWebPage()
+	sizes := w.Sizes(simrng.New(42))
+	if len(sizes) != 107 {
+		t.Fatalf("object count = %d, want 107", len(sizes))
+	}
+	var total units.ByteSize
+	over := 0
+	for _, s := range sizes {
+		if s < w.MinObject || s > w.MaxObject {
+			t.Fatalf("object size %v outside [%v, %v]", s, w.MinObject, w.MaxObject)
+		}
+		if s >= 256*units.KB {
+			over++
+		}
+		total += s
+	}
+	// "Almost all objects are small (<256 KB)".
+	if over > 10 {
+		t.Errorf("%d/107 objects at the 256 KB cap, want few", over)
+	}
+	// A 2014 news home page: roughly 1–4 MB in total.
+	if total < 500*units.KB || total > 8*units.MB {
+		t.Errorf("page total = %v, want a realistic page weight", total)
+	}
+}
+
+func TestWebPageSizesDeterministic(t *testing.T) {
+	w := DefaultWebPage()
+	a := w.Sizes(simrng.New(7))
+	b := w.Sizes(simrng.New(7))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed size draws differ")
+		}
+	}
+}
+
+func TestWebPageLaunch(t *testing.T) {
+	eng := sim.New()
+	var conns []*fakeConn
+	open := func() Conn {
+		c := &fakeConn{eng: eng, rate: 1e6}
+		conns = append(conns, c)
+		return c
+	}
+	doneAt := -1.0
+	w := DefaultWebPage()
+	w.Launch(eng, simrng.New(3), open, func(at float64) { doneAt = at })
+	eng.Run()
+	if len(conns) != 6 {
+		t.Fatalf("opened %d connections, want 6", len(conns))
+	}
+	total := 0
+	for _, c := range conns {
+		total += len(c.got)
+		// Two-phase load: the root document rides connection 0, then 106
+		// subresources round-robin → 17–19 objects per connection.
+		if len(c.got) < 17 || len(c.got) > 19 {
+			t.Errorf("connection got %d objects, want 17–19", len(c.got))
+		}
+	}
+	if total != 107 {
+		t.Errorf("total objects = %d, want 107", total)
+	}
+	if doneAt <= 0 {
+		t.Error("page completion never fired")
+	}
+}
+
+func TestWebPageDoneFiresAtLastObject(t *testing.T) {
+	eng := sim.New()
+	var latest float64
+	open := func() Conn {
+		c := &fakeConn{eng: eng, rate: 5e5}
+		return connTracker{c, &latest}
+	}
+	doneAt := -1.0
+	DefaultWebPage().Launch(eng, simrng.New(4), open, func(at float64) { doneAt = at })
+	eng.Run()
+	if doneAt != latest {
+		t.Errorf("done at %v, last object at %v", doneAt, latest)
+	}
+}
+
+type connTracker struct {
+	inner  *fakeConn
+	latest *float64
+}
+
+func (c connTracker) Get(size units.ByteSize, onComplete func(at float64)) {
+	c.inner.Get(size, c.wrap(onComplete))
+}
+
+func (c connTracker) Put(size units.ByteSize, onComplete func(at float64)) {
+	c.inner.Put(size, c.wrap(onComplete))
+}
+
+func (c connTracker) wrap(onComplete func(at float64)) func(at float64) {
+	return func(at float64) {
+		if at > *c.latest {
+			*c.latest = at
+		}
+		if onComplete != nil {
+			onComplete(at)
+		}
+	}
+}
+
+func TestWebPagePanicsOnBadConfig(t *testing.T) {
+	eng := sim.New()
+	w := WebPage{Objects: 0, Connections: 6, MinObject: units.KB, MaxObject: units.MB, ParetoAlpha: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-object page did not panic")
+		}
+	}()
+	w.Launch(eng, simrng.New(1), func() Conn { return &fakeConn{eng: eng, rate: 1} }, nil)
+}
+
+func TestFileUpload(t *testing.T) {
+	eng := sim.New()
+	conn := &fakeConn{eng: eng, rate: 1e6}
+	doneAt := -1.0
+	(FileUpload{Size: units.MB}).Launch(eng, simrng.New(1), func() Conn { return conn }, func(at float64) { doneAt = at })
+	eng.Run()
+	if len(conn.put) != 1 || conn.put[0] != units.MB {
+		t.Errorf("uploads = %v, want one 1 MB Put", conn.put)
+	}
+	if len(conn.got) != 0 {
+		t.Errorf("upload workload issued Gets: %v", conn.got)
+	}
+	if doneAt <= 0 {
+		t.Error("upload completion never fired")
+	}
+	if (FileUpload{Size: units.MB}).TotalBytes() != units.MB {
+		t.Error("TotalBytes wrong")
+	}
+}
+
+func TestStreamingPacing(t *testing.T) {
+	eng := sim.New()
+	conn := &fakeConn{eng: eng, rate: 4e6} // 4 MB/s: chunks fetch in 0.25 s
+	w := DefaultStreaming()
+	doneAt := -1.0
+	w.Launch(eng, simrng.New(2), func() Conn { return conn }, func(at float64) { doneAt = at })
+	eng.Run()
+	if len(conn.got) != w.Chunks {
+		t.Fatalf("fetched %d chunks, want %d", len(conn.got), w.Chunks)
+	}
+	// Steady state paces at one chunk per interval, so total time is
+	// close to the playout duration (minus the prebuffered tail).
+	wantMin := w.Duration() - float64(w.BufferAhead+2)*w.ChunkInterval
+	if doneAt < wantMin {
+		t.Errorf("stream done at %.1f s, want ≥ %.1f (pacing, not burst)", doneAt, wantMin)
+	}
+	if doneAt > w.Duration()+5 {
+		t.Errorf("stream done at %.1f s, playout is only %.1f", doneAt, w.Duration())
+	}
+}
+
+func TestStreamingStallsOnSlowLink(t *testing.T) {
+	// Below the video bitrate the stream takes longer than playout.
+	eng := sim.New()
+	conn := &fakeConn{eng: eng, rate: 2.5e5} // 2 Mbps < 4 Mbps bitrate
+	w := DefaultStreaming()
+	doneAt := -1.0
+	w.Launch(eng, simrng.New(3), func() Conn { return conn }, func(at float64) { doneAt = at })
+	eng.Run()
+	if doneAt <= w.Duration() {
+		t.Errorf("underprovisioned stream finished at %.1f s, playout %.1f", doneAt, w.Duration())
+	}
+}
+
+func TestStreamingDuration(t *testing.T) {
+	w := DefaultStreaming()
+	if w.Duration() != 120 {
+		t.Errorf("default stream duration = %v, want 120 s", w.Duration())
+	}
+	if w.TotalBytes() != 60*units.MB {
+		t.Errorf("total = %v, want 60 MB", w.TotalBytes())
+	}
+}
+
+func TestStreamingPanicsOnBadConfig(t *testing.T) {
+	eng := sim.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid streaming config did not panic")
+		}
+	}()
+	(Streaming{Chunks: 0, ChunkSize: 1, ChunkInterval: 1, BufferAhead: 1}).Launch(
+		eng, simrng.New(1), func() Conn { return &fakeConn{eng: eng, rate: 1} }, nil)
+}
+
+func TestWebPageTwoPhaseLoad(t *testing.T) {
+	// The subresources must not be requested before the root document
+	// arrives: with a slow root fetch, connections 1..5 stay empty until
+	// then.
+	eng := sim.New()
+	var conns []*fakeConn
+	open := func() Conn {
+		c := &fakeConn{eng: eng, rate: 1e5} // slow: root takes a while
+		conns = append(conns, c)
+		return c
+	}
+	w := DefaultWebPage()
+	w.Launch(eng, simrng.New(9), open, nil)
+	// Before the engine runs, only the root request exists.
+	total := 0
+	for _, c := range conns {
+		total += len(c.got)
+	}
+	if total != 1 {
+		t.Fatalf("requests before root arrival = %d, want 1 (the document)", total)
+	}
+	eng.Run()
+	total = 0
+	for _, c := range conns {
+		total += len(c.got)
+	}
+	if total != w.Objects {
+		t.Errorf("total objects = %d, want %d", total, w.Objects)
+	}
+}
