@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench experiments traces fmt vet cover clean
+.PHONY: all build test short bench bench-json experiments traces fmt vet cover clean
 
 all: build test
 
@@ -18,6 +18,10 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot (ns/op, B/op, allocs/op per bench).
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > BENCH.json
 
 # Regenerate every paper table/figure (the EXPERIMENTS.md inputs).
 experiments:

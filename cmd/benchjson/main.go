@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a JSON object on stdout, one entry per benchmark:
+//
+//	go test -bench=. -benchmem ./... | benchjson > BENCH.json
+//
+// Each entry maps the benchmark name (GOMAXPROCS suffix stripped) to its
+// ns/op, B/op and allocs/op. Benchmarks that appear more than once (e.g.
+// from -count) keep the last measurement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark line's measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(stdin io.Reader, stdout, stderr io.Writer) int {
+	results, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
+		return 1
+	}
+	// Sorted keys so the file diffs cleanly across regenerations.
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		enc, _ := json.Marshal(results[k])
+		fmt.Fprintf(&b, "  %q: %s", k, enc)
+		if i < len(keys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	io.WriteString(stdout, b.String())
+	return 0
+}
+
+// parse scans go-test output for benchmark result lines, i.e.
+//
+//	BenchmarkName-8   1000000   1234 ns/op   56 B/op   7 allocs/op
+func parse(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		// Strip the -GOMAXPROCS suffix go test appends.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var res Result
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp, seen = v, true
+			case "B/op":
+				res.BytesPerOp = int64(v)
+			case "allocs/op":
+				res.AllocsPerOp = int64(v)
+			}
+		}
+		if seen {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: some CPU
+BenchmarkSimKernel-8   	27412988	        42.84 ns/op	       0 B/op	       0 allocs/op
+BenchmarkHeapChurn-8   	18321776	        64.73 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem         	  100000	      1500 ns/op
+PASS
+ok  	repro/internal/sim	3.456s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := got["BenchmarkSimKernel"]
+	if k.NsPerOp != 42.84 || k.BytesPerOp != 0 || k.AllocsPerOp != 0 {
+		t.Errorf("SimKernel = %+v", k)
+	}
+	// No -benchmem columns: memory fields stay zero, ns/op still parses.
+	if nm := got["BenchmarkNoMem"]; nm.NsPerOp != 1500 {
+		t.Errorf("NoMem = %+v", nm)
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d benchmarks, want 3", len(got))
+	}
+}
+
+func TestRunEmitsValidSortedJSON(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var m map[string]Result
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if m["BenchmarkHeapChurn"].NsPerOp != 64.73 {
+		t.Errorf("HeapChurn = %+v", m["BenchmarkHeapChurn"])
+	}
+	// Keys must be emitted in sorted order for stable diffs.
+	if i, j := strings.Index(out.String(), "HeapChurn"), strings.Index(out.String(), "SimKernel"); i > j {
+		t.Error("keys not sorted")
+	}
+}
+
+func TestRunNoInput(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(strings.NewReader("PASS\n"), &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "no benchmark") {
+		t.Error("missing diagnostic")
+	}
+}

@@ -2,10 +2,13 @@
 //
 // Usage:
 //
-//	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [experiment ...]
+//	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [-j N] [experiment ...]
 //
 // With no arguments it lists the available experiments. Pass experiment
 // ids ("fig5", "table2", ...) or "all" to run everything in paper order.
+// Experiments are independent seeded simulations, so -j runs them (and
+// the repeated runs inside each) across N workers; -j 1 is fully
+// sequential. Output is byte-identical at any -j.
 package main
 
 import (
@@ -13,10 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/energy"
 	"repro/internal/exp"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -31,11 +37,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 0, "base seed for all runs")
 	quickMode := fs.Bool("quick", false, "shrink transfer sizes and repetition counts (~10x faster)")
 	csvMode := fs.Bool("csv", false, "emit result tables as CSV instead of aligned text")
+	jobs := fs.Int("j", runtime.NumCPU(), "worker count for parallel runs (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode}
+	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode, Jobs: *jobs}
 	switch *device {
 	case "s3":
 		cfg.Device = energy.GalaxyS3()
@@ -63,22 +70,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ids = rest
 	}
 
-	for _, id := range ids {
-		e := exp.ByID(id)
-		if e == nil {
+	// Validate every id before running anything, so a typo late in the
+	// list fails fast instead of after minutes of simulation.
+	es := make([]*exp.Experiment, len(ids))
+	for i, id := range ids {
+		if es[i] = exp.ByID(id); es[i] == nil {
 			fmt.Fprintf(stderr, "unknown experiment %q; run without arguments for the list\n", id)
 			return 2
 		}
-		fmt.Fprintf(stdout, "=== %s — %s\n", e.ID, e.Title)
-		fmt.Fprintf(stdout, "paper: %s\n\n", e.Paper)
+	}
+
+	// Each experiment renders its section into a buffer on the worker
+	// pool; sections are written out in request order, so the transcript
+	// is byte-identical to a sequential run (modulo wall times).
+	sections := runner.Map(runner.New(*jobs), len(es), func(i int) string {
+		e := es[i]
+		var b strings.Builder
+		fmt.Fprintf(&b, "=== %s — %s\n", e.ID, e.Title)
+		fmt.Fprintf(&b, "paper: %s\n\n", e.Paper)
 		start := time.Now()
 		out := e.Run(cfg)
 		if *csvMode {
-			fmt.Fprint(stdout, out.CSV())
+			b.WriteString(out.CSV())
 		} else {
-			fmt.Fprint(stdout, out.String())
+			b.WriteString(out.String())
 		}
-		fmt.Fprintf(stdout, "(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(&b, "(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		return b.String()
+	})
+	for _, s := range sections {
+		io.WriteString(stdout, s)
 	}
 	return 0
 }

@@ -83,3 +83,43 @@ func TestRunAllQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestJobsFlagDeterministic(t *testing.T) {
+	norm := func(s string) string {
+		// Wall-time lines vary run to run; drop them before comparing.
+		var b strings.Builder
+		for _, ln := range strings.Split(s, "\n") {
+			if strings.HasSuffix(ln, "wall time)") {
+				continue
+			}
+			b.WriteString(ln)
+			b.WriteString("\n")
+		}
+		return b.String()
+	}
+	var seq, par, errb strings.Builder
+	if code := run([]string{"-quick", "-j", "1", "fig8", "fig14"}, &seq, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-quick", "-j", "8", "fig8", "fig14"}, &par, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if norm(seq.String()) != norm(par.String()) {
+		t.Errorf("-j 1 and -j 8 outputs differ:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq.String(), par.String())
+	}
+}
+
+func TestUnknownExperimentFailsBeforeRunning(t *testing.T) {
+	// A bad id anywhere in the list must fail upfront: nothing from the
+	// valid leading experiment may reach stdout.
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "fig1", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout should be empty on upfront validation failure, got:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "fig99") {
+		t.Error("error message should name the bad id")
+	}
+}

@@ -8,9 +8,11 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/energy"
 	"repro/internal/report"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -24,6 +26,10 @@ type Config struct {
 	// Quick shrinks transfer sizes and repetition counts (~10x) so the
 	// whole suite can run in benchmark loops; headline shapes persist.
 	Quick bool
+	// Jobs caps the worker count for repeated seeded runs: 1 forces the
+	// sequential path, 0 (or negative) selects all cores. Results are
+	// merged in seed order, so output is byte-identical at any setting.
+	Jobs int
 }
 
 func (c Config) device() *energy.DeviceProfile {
@@ -58,6 +64,18 @@ func (c Config) scaleMB(mb float64) float64 {
 	return s
 }
 
+// pool returns the worker pool for this configuration.
+func (c Config) pool() *runner.Pool { return runner.New(c.Jobs) }
+
+// repeatRuns evaluates mk(0..n-1) — one independent seeded run per index —
+// across the configuration's worker pool and returns the results in index
+// order. Every repeated-run loop in the harness goes through here, so
+// parallel and sequential executions reduce over identical slices and
+// every table regenerates bit-identically.
+func repeatRuns[T any](cfg Config, n int, mk func(i int) T) []T {
+	return runner.Map(cfg.pool(), n, mk)
+}
+
 // Output is what an experiment produces.
 type Output struct {
 	Tables []*report.Table
@@ -86,27 +104,30 @@ func (o *Output) addSeries(name string, ts *stats.TimeSeries) {
 // CSV renders the output's tables as CSV blocks (titles as comments),
 // skipping traces and notes.
 func (o *Output) CSV() string {
-	s := ""
+	var b strings.Builder
 	for _, t := range o.Tables {
 		if t.Title != "" {
-			s += "# " + t.Title + "\n"
+			b.WriteString("# " + t.Title + "\n")
 		}
-		s += t.CSV() + "\n"
+		b.WriteString(t.CSV())
+		b.WriteString("\n")
 	}
-	return s
+	return b.String()
 }
 
 // String renders the whole output.
 func (o *Output) String() string {
-	s := ""
+	var b strings.Builder
 	for _, t := range o.Tables {
-		s += t.String() + "\n"
+		b.WriteString(t.String())
+		b.WriteString("\n")
 	}
 	if len(o.Order) > 0 {
-		s += report.SeriesBlock("traces:", o.Order, o.Series, 72) + "\n"
+		b.WriteString(report.SeriesBlock("traces:", o.Order, o.Series, 72))
+		b.WriteString("\n")
 	}
 	for _, n := range o.Notes {
-		s += "note: " + n + "\n"
+		b.WriteString("note: " + n + "\n")
 	}
 	if len(o.Metrics) > 0 {
 		keys := make([]string, 0, len(o.Metrics))
@@ -114,12 +135,12 @@ func (o *Output) String() string {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		s += "metrics:\n"
+		b.WriteString("metrics:\n")
 		for _, k := range keys {
-			s += fmt.Sprintf("  %-44s %s\n", k, report.FormatFloat(o.Metrics[k]))
+			fmt.Fprintf(&b, "  %-44s %s\n", k, report.FormatFloat(o.Metrics[k]))
 		}
 	}
-	return s
+	return b.String()
 }
 
 // Experiment is one reproducible table or figure.
@@ -135,10 +156,20 @@ type Experiment struct {
 	Run func(cfg Config) *Output
 }
 
-// registry holds all experiments in paper order.
-var registry []*Experiment
+// registry holds all experiments in paper order; byID indexes them for
+// O(1) lookup.
+var (
+	registry []*Experiment
+	byID     = map[string]*Experiment{}
+)
 
-func register(e *Experiment) { registry = append(registry, e) }
+func register(e *Experiment) {
+	if _, dup := byID[e.ID]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment id %q", e.ID))
+	}
+	byID[e.ID] = e
+	registry = append(registry, e)
+}
 
 // All returns every experiment in paper order.
 func All() []*Experiment {
@@ -148,14 +179,7 @@ func All() []*Experiment {
 }
 
 // ByID returns the experiment with the given ID, or nil.
-func ByID(id string) *Experiment {
-	for _, e := range registry {
-		if e.ID == id {
-			return e
-		}
-	}
-	return nil
-}
+func ByID(id string) *Experiment { return byID[id] }
 
 // IDs lists all experiment IDs in order.
 func IDs() []string {

@@ -419,3 +419,31 @@ func TestExtBattery(t *testing.T) {
 		t.Errorf("MPTCP daily share = %v%%, want a plausible fraction", mp)
 	}
 }
+
+// TestParallelDeterminism is the acceptance gate for the parallel
+// executor: the rendered output of a figure must be byte-identical
+// whether its repeated runs execute sequentially or across 8 workers.
+func TestParallelDeterminism(t *testing.T) {
+	for _, id := range []string{"fig8", "fig14"} {
+		t.Run(id, func(t *testing.T) {
+			e := ByID(id)
+			if e == nil {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			seq := e.Run(Config{Quick: true, Jobs: 1}).String()
+			par := e.Run(Config{Quick: true, Jobs: 8}).String()
+			if seq != par {
+				t.Errorf("%s output differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", id, seq, par)
+			}
+		})
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a duplicate experiment id should panic")
+		}
+	}()
+	register(&Experiment{ID: "fig1", Title: "dup", Paper: "dup", Run: runFig1})
+}

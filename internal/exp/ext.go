@@ -60,13 +60,15 @@ func runExtStreaming(cfg Config) *Output {
 			w.Chunks, w.ChunkSize, w.ChunkInterval),
 		"Protocol", "Energy (J)", "Completion (s)", "LTE used")
 	runs := cfg.runs(5)
+	sc := scenario.StaticLab(cfg.device(), 12, 4.5, w)
+	rs := repeatRuns(cfg, len(labProtos)*runs, func(j int) scenario.Result {
+		return scenario.Run(sc, labProtos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	})
 	ms := map[scenario.Protocol]*measures{}
-	for _, p := range labProtos {
+	for pi, p := range labProtos {
 		m := &measures{}
 		lte := false
-		for i := 0; i < runs; i++ {
-			r := scenario.Run(scenario.StaticLab(cfg.device(), 12, 4.5, w), p,
-				scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		for _, r := range rs[pi*runs : (pi+1)*runs] {
 			m.energy = append(m.energy, r.Energy.Joules())
 			m.time = append(m.time, r.CompletionTime)
 			lte = lte || r.LTEUsed
@@ -88,15 +90,22 @@ func runExtUpload(cfg Config) *Output {
 	size := units.ByteSize(cfg.scaleMB(16)) * units.MB
 	t := report.NewTable(fmt.Sprintf("Upload of %v vs download, 6 Mbps WiFi / 4.5 Mbps LTE", size),
 		"Protocol", "Upload energy (J)", "Download energy (J)", "Upload premium")
-	for _, p := range []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi, scenario.TCPLTE} {
+	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi, scenario.TCPLTE}
+	runs := cfg.runs(3)
+	type upDown struct{ up, down float64 }
+	rs := repeatRuns(cfg, len(protos)*runs, func(j int) upDown {
+		p, i := protos[j/runs], j%runs
+		up := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileUpload{Size: size}), p,
+			scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		down := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileDownload{Size: size}), p,
+			scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		return upDown{up: up.Energy.Joules(), down: down.Energy.Joules()}
+	})
+	for pi, p := range protos {
 		var upE, downE []float64
-		for i := 0; i < cfg.runs(3); i++ {
-			up := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileUpload{Size: size}), p,
-				scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-			down := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileDownload{Size: size}), p,
-				scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-			upE = append(upE, up.Energy.Joules())
-			downE = append(downE, down.Energy.Joules())
+		for _, r := range rs[pi*runs : (pi+1)*runs] {
+			upE = append(upE, r.up)
+			downE = append(downE, r.down)
 		}
 		premium := stats.Ratio(stats.Mean(upE), stats.Mean(downE))
 		t.Addf(p.String(), stats.Mean(upE), stats.Mean(downE), fmt.Sprintf("%.0f%%", premium))
@@ -114,21 +123,16 @@ func runExtDevices(cfg Config) *Output {
 	t := report.NewTable("Galaxy S3 vs Nexus 5: 64 MB over 12 Mbps WiFi / 4.5 Mbps LTE",
 		"Device", "Protocol", "Energy (J)", "Time (s)")
 	for _, dev := range []*energy.DeviceProfile{energy.GalaxyS3(), energy.Nexus5()} {
+		ms := collect(cfg, scenario.StaticLab(dev, 12, 4.5, size), labProtos, cfg.runs(3))
 		for _, p := range labProtos {
-			var es, ts []float64
-			for i := 0; i < cfg.runs(3); i++ {
-				r := scenario.Run(scenario.StaticLab(dev, 12, 4.5, size), p,
-					scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-				es = append(es, r.Energy.Joules())
-				ts = append(ts, r.CompletionTime)
-			}
-			t.Addf(dev.Name, p.String(), stats.Mean(es), stats.Mean(ts))
+			m := ms[p]
+			t.Addf(dev.Name, p.String(), stats.Mean(m.energy), stats.Mean(m.time))
 			if p == scenario.EMPTCP {
 				key := "s3"
 				if dev.Name != energy.GalaxyS3().Name {
 					key = "n5"
 				}
-				out.Metrics["emptcp_energy_J_"+key] = stats.Mean(es)
+				out.Metrics["emptcp_energy_J_"+key] = stats.Mean(m.energy)
 			}
 		}
 	}
@@ -205,18 +209,14 @@ func runExt3G(cfg Config) *Output {
 		{"LTE", cfg.device()},
 		{"3G", cfg.device().WithCellular3G()},
 	}
+	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP}
 	for _, dc := range devices {
-		for _, p := range []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP} {
-			var es, ts []float64
-			for i := 0; i < cfg.runs(3); i++ {
-				r := scenario.Run(scenario.RandomBandwidth(dc.dev, size), p,
-					scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-				es = append(es, r.Energy.Joules())
-				ts = append(ts, r.CompletionTime)
-			}
-			t.Addf(dc.label, p.String(), stats.Mean(es), stats.Mean(ts))
+		ms := collect(cfg, scenario.RandomBandwidth(dc.dev, size), protos, cfg.runs(3))
+		for _, p := range protos {
+			m := ms[p]
+			t.Addf(dc.label, p.String(), stats.Mean(m.energy), stats.Mean(m.time))
 			if p == scenario.EMPTCP {
-				out.Metrics["emptcp_energy_J_"+dc.label] = stats.Mean(es)
+				out.Metrics["emptcp_energy_J_"+dc.label] = stats.Mean(m.energy)
 			}
 		}
 	}
@@ -247,11 +247,16 @@ func runExtMultiAP(cfg Config) *Output {
 		{"single AP", scenario.Mobility},
 		{"multi-AP", scenario.MobilityMultiAP},
 	}
+	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi, scenario.WiFiFirst}
+	runs := cfg.runs(3)
 	for _, b := range builds {
-		for _, p := range []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi, scenario.WiFiFirst} {
+		sc := b.mk(cfg.device())
+		rs := repeatRuns(cfg, len(protos)*runs, func(j int) scenario.Result {
+			return scenario.Run(sc, protos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+		})
+		for pi, p := range protos {
 			var dl, e, lteE []float64
-			for i := 0; i < cfg.runs(3); i++ {
-				r := scenario.Run(b.mk(cfg.device()), p, scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+			for _, r := range rs[pi*runs : (pi+1)*runs] {
 				dl = append(dl, r.Downloaded.Megabytes())
 				e = append(e, r.Energy.Joules())
 				lteE = append(lteE, r.ByIface[energy.LTE].Joules())
@@ -291,15 +296,18 @@ func runExtSweep(cfg Config) *Output {
 	// download outlives τ only if κ is small.
 	tk := report.NewTable("κ sweep — 256 KB downloads over 4 Mbps WiFi / 4.5 Mbps LTE",
 		"κ", "LTE established (runs)", "Mean energy (J)")
-	for _, kappaKB := range []float64{64, 256, 1024, 4096} {
+	kappas := []float64{64, 256, 1024, 4096}
+	kRuns := repeatRuns(cfg, len(kappas)*runs, func(j int) scenario.Result {
 		coreCfg := core.DefaultConfig()
-		coreCfg.Kappa = units.ByteSize(kappaKB) * units.KB
+		coreCfg.Kappa = units.ByteSize(kappas[j/runs]) * units.KB
 		sc := scenario.StaticLab(cfg.device(), 4, 4.5, workload.FileDownload{Size: 256 * units.KB})
 		sc.CoreConfig = &coreCfg
+		return scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	})
+	for ki, kappaKB := range kappas {
 		lteRuns := 0
 		var es []float64
-		for i := 0; i < runs; i++ {
-			r := scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		for _, r := range kRuns[ki*runs : (ki+1)*runs] {
 			if r.LTEUsed {
 				lteRuns++
 			}
@@ -315,14 +323,17 @@ func runExtSweep(cfg Config) *Output {
 	// establishment on merely-slow-starting connections.
 	tt := report.NewTable("τ sweep — 8 MB downloads over 0.5 Mbps WiFi / 4.5 Mbps LTE",
 		"τ (s)", "Mean completion (s)", "Mean energy (J)")
-	for _, tau := range []float64{1, 3, 6, 12} {
+	taus := []float64{1, 3, 6, 12}
+	tRuns := repeatRuns(cfg, len(taus)*runs, func(j int) scenario.Result {
 		coreCfg := core.DefaultConfig()
-		coreCfg.Tau = tau
+		coreCfg.Tau = taus[j/runs]
 		sc := scenario.StaticLab(cfg.device(), 0.5, 4.5, workload.FileDownload{Size: 8 * units.MB})
 		sc.CoreConfig = &coreCfg
+		return scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	})
+	for ti, tau := range taus {
 		var ts, es []float64
-		for i := 0; i < runs; i++ {
-			r := scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		for _, r := range tRuns[ti*runs : (ti+1)*runs] {
 			ts = append(ts, r.CompletionTime)
 			es = append(es, r.Energy.Joules())
 		}
@@ -369,13 +380,15 @@ func runExtHOL(cfg Config) *Output {
 		eng.Run()
 		return done
 	}
-	unlimited := run(0)
-	for _, rb := range []units.ByteSize{0, 8 * units.MB, 1 * units.MB, 256 * units.KB, 64 * units.KB} {
+	buffers := []units.ByteSize{0, 8 * units.MB, 1 * units.MB, 256 * units.KB, 64 * units.KB}
+	ds := repeatRuns(cfg, len(buffers), func(i int) float64 { return run(buffers[i]) })
+	unlimited := ds[0]
+	for bi, rb := range buffers {
 		label := "unlimited"
 		if rb > 0 {
 			label = rb.String()
 		}
-		d := run(rb)
+		d := ds[bi]
 		t.Addf(label, d, fmt.Sprintf("%.2fx", d/unlimited))
 		out.Metrics["completion_s_"+label] = d
 	}
@@ -412,20 +425,31 @@ func runExtBattery(cfg Config) *Output {
 		fmt.Sprintf("Daily mix on %s: %d web sessions + %d×16 MB downloads + one 2-minute stream (good WiFi / 4.5 Mbps LTE)",
 			dev.Name, webSessions, downloads),
 		"Protocol", "Energy (J)", "Battery %")
-	for _, p := range labProtos {
+	// One flat index space per protocol: webSessions pages, then the
+	// downloads, then the stream. Joules are summed in index order, so the
+	// floating-point total is identical at any job count.
+	perProto := webSessions + downloads + 1
+	joules := repeatRuns(cfg, len(labProtos)*perProto, func(j int) float64 {
+		p, k := labProtos[j/perProto], j%perProto
+		var r scenario.Result
+		switch {
+		case k < webSessions:
+			r = scenario.Run(scenario.WebBrowsing(dev), p, scenario.Opts{Seed: cfg.BaseSeed + int64(k)})
+		case k < webSessions+downloads:
+			r = scenario.Run(scenario.Wild(dev, scenario.Good, scenario.Good, scenario.WDC,
+				workload.FileDownload{Size: 16 * units.MB}), p,
+				scenario.Opts{Seed: cfg.BaseSeed + 100 + int64(k-webSessions)})
+		default:
+			r = scenario.Run(scenario.StaticLab(dev, 12, 4.5, workload.DefaultStreaming()), p,
+				scenario.Opts{Seed: cfg.BaseSeed + 200})
+		}
+		return r.Energy.Joules()
+	})
+	for pi, p := range labProtos {
 		total := 0.0
-		for i := 0; i < webSessions; i++ {
-			r := scenario.Run(scenario.WebBrowsing(dev), p, scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-			total += r.Energy.Joules()
+		for _, j := range joules[pi*perProto : (pi+1)*perProto] {
+			total += j
 		}
-		for i := 0; i < downloads; i++ {
-			r := scenario.Run(scenario.Wild(dev, scenario.Good, scenario.Good, scenario.WDC,
-				workload.FileDownload{Size: 16 * units.MB}), p, scenario.Opts{Seed: cfg.BaseSeed + 100 + int64(i)})
-			total += r.Energy.Joules()
-		}
-		r := scenario.Run(scenario.StaticLab(dev, 12, 4.5, workload.DefaultStreaming()), p,
-			scenario.Opts{Seed: cfg.BaseSeed + 200})
-		total += r.Energy.Joules()
 		pct := dev.BatteryFraction(units.Energy(total)) * 100
 		t.Addf(p.String(), total, pct)
 		out.Metrics["battery_pct_"+p.String()] = pct

@@ -80,17 +80,26 @@ type measures struct {
 	downMB []float64 // MB
 }
 
-// collect runs each protocol `runs` times over the scenario.
-func collect(sc scenario.Scenario, protos []scenario.Protocol, runs int, baseSeed int64) map[scenario.Protocol]*measures {
+// add appends one run's headline numbers.
+func (m *measures) add(r scenario.Result) {
+	m.energy = append(m.energy, r.Energy.Joules())
+	m.time = append(m.time, r.CompletionTime)
+	m.jpb = append(m.jpb, r.JPerByte)
+	m.downMB = append(m.downMB, r.Downloaded.Megabytes())
+}
+
+// collect runs each protocol `runs` times over the scenario. The
+// protocol × seed grid is flattened onto the worker pool and reduced in
+// index order, so the tables built from it are identical at any job count.
+func collect(cfg Config, sc scenario.Scenario, protos []scenario.Protocol, runs int) map[scenario.Protocol]*measures {
+	rs := repeatRuns(cfg, len(protos)*runs, func(j int) scenario.Result {
+		return scenario.Run(sc, protos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	})
 	out := map[scenario.Protocol]*measures{}
-	for _, p := range protos {
+	for pi, p := range protos {
 		m := &measures{}
-		for i := 0; i < runs; i++ {
-			r := scenario.Run(sc, p, scenario.Opts{Seed: baseSeed + int64(i)})
-			m.energy = append(m.energy, r.Energy.Joules())
-			m.time = append(m.time, r.CompletionTime)
-			m.jpb = append(m.jpb, r.JPerByte)
-			m.downMB = append(m.downMB, r.Downloaded.Megabytes())
+		for _, r := range rs[pi*runs : (pi+1)*runs] {
+			m.add(r)
 		}
 		out[p] = m
 	}
@@ -125,7 +134,7 @@ func ratioMetrics(out *Output, ms map[scenario.Protocol]*measures) {
 func runFig5(cfg Config) *Output {
 	out := newOutput()
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
-	ms := collect(scenario.StaticLab(cfg.device(), 12, 9, size), labProtos, cfg.runs(5), cfg.BaseSeed)
+	ms := collect(cfg, scenario.StaticLab(cfg.device(), 12, 9, size), labProtos, cfg.runs(5))
 	out.Tables = append(out.Tables, energyTimeTable("Figure 5 — static good WiFi", ms, labProtos))
 	ratioMetrics(out, ms)
 	return out
@@ -134,7 +143,7 @@ func runFig5(cfg Config) *Output {
 func runFig6(cfg Config) *Output {
 	out := newOutput()
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
-	ms := collect(scenario.StaticLab(cfg.device(), 0.8, 9, size), labProtos, cfg.runs(5), cfg.BaseSeed)
+	ms := collect(cfg, scenario.StaticLab(cfg.device(), 0.8, 9, size), labProtos, cfg.runs(5))
 	out.Tables = append(out.Tables, energyTimeTable("Figure 6 — static bad WiFi", ms, labProtos))
 	ratioMetrics(out, ms)
 	return out
@@ -145,8 +154,12 @@ func runFig7(cfg Config) *Output {
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
 	t := report.NewTable("Figure 7 — random WiFi bandwidth (single run)",
 		"Protocol", "Energy (J)", "Download time (s)")
-	for _, p := range labProtos {
-		r := scenario.Run(scenario.RandomBandwidth(cfg.device(), size), p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	sc := scenario.RandomBandwidth(cfg.device(), size)
+	rs := repeatRuns(cfg, len(labProtos), func(i int) scenario.Result {
+		return scenario.Run(sc, labProtos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	})
+	for pi, p := range labProtos {
+		r := rs[pi]
 		t.Addf(p.String(), r.Energy.Joules(), r.CompletionTime)
 		out.addSeries("energy "+p.String(), r.EnergyTrace)
 		if p == scenario.EMPTCP {
@@ -161,7 +174,7 @@ func runFig7(cfg Config) *Output {
 func runFig8(cfg Config) *Output {
 	out := newOutput()
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
-	ms := collect(scenario.RandomBandwidth(cfg.device(), size), labProtos, cfg.runs(10), cfg.BaseSeed)
+	ms := collect(cfg, scenario.RandomBandwidth(cfg.device(), size), labProtos, cfg.runs(10))
 	out.Tables = append(out.Tables, energyTimeTable("Figure 8 — random WiFi bandwidth changes", ms, labProtos))
 	ratioMetrics(out, ms)
 	return out
@@ -170,9 +183,13 @@ func runFig8(cfg Config) *Output {
 func runFig9(cfg Config) *Output {
 	out := newOutput()
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
-	for _, p := range []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP} {
-		sc := scenario.BackgroundTraffic(cfg.device(), 2, 0.05, 0.025, size)
-		r := scenario.Run(sc, p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP}
+	sc := scenario.BackgroundTraffic(cfg.device(), 2, 0.05, 0.025, size)
+	rs := repeatRuns(cfg, len(protos), func(i int) scenario.Result {
+		return scenario.Run(sc, protos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	})
+	for pi, p := range protos {
+		r := rs[pi]
 		out.addSeries(p.String()+" WiFi (Mbps)", r.ThroughputTrace[energy.WiFi])
 		out.addSeries(p.String()+" LTE (Mbps)", r.ThroughputTrace[energy.LTE])
 		// Fraction of trace time the LTE subflow was moving data.
@@ -203,7 +220,7 @@ func runFig10(cfg Config) *Output {
 	}
 	for _, s := range []setting{{2, 0.025}, {3, 0.025}, {3, 0.05}} {
 		sc := scenario.BackgroundTraffic(cfg.device(), s.n, 0.05, s.lambdaOff, size)
-		ms := collect(sc, labProtos, cfg.runs(5), cfg.BaseSeed)
+		ms := collect(cfg, sc, labProtos, cfg.runs(5))
 		mpE := stats.Mean(ms[scenario.MPTCP].energy)
 		mpT := stats.Mean(ms[scenario.MPTCP].time)
 		label := fmt.Sprintf("λoff=%.3f, n=%d", s.lambdaOff, s.n)
@@ -225,8 +242,12 @@ func runFig12(cfg Config) *Output {
 	out := newOutput()
 	t := report.NewTable("Figure 12 — mobility trace (250 s)",
 		"Protocol", "Energy (J)", "Downloaded (MB)")
-	for _, p := range labProtos {
-		r := scenario.Run(scenario.Mobility(cfg.device()), p, scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	sc := scenario.Mobility(cfg.device())
+	rs := repeatRuns(cfg, len(labProtos), func(i int) scenario.Result {
+		return scenario.Run(sc, labProtos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	})
+	for pi, p := range labProtos {
+		r := rs[pi]
 		t.Addf(p.String(), r.Energy.Joules(), r.Downloaded.Megabytes())
 		out.addSeries("energy "+p.String(), r.EnergyTrace)
 		if p == scenario.EMPTCP {
@@ -240,7 +261,7 @@ func runFig12(cfg Config) *Output {
 
 func runFig13(cfg Config) *Output {
 	out := newOutput()
-	ms := collect(scenario.Mobility(cfg.device()), labProtos, cfg.runs(5), cfg.BaseSeed)
+	ms := collect(cfg, scenario.Mobility(cfg.device()), labProtos, cfg.runs(5))
 	t := report.NewTable("Figure 13 — mobility over 250 s",
 		"Protocol", "Energy per byte (µJ/B, mean ± SEM)", "Downloaded (MB, mean ± SEM)")
 	for _, p := range labProtos {
@@ -274,7 +295,7 @@ func runSec46(cfg Config) *Output {
 
 	protos := []scenario.Protocol{scenario.EMPTCP, scenario.WiFiFirst, scenario.SinglePath, scenario.MDP, scenario.TCPWiFi}
 	// Mobility: the setting where the strategies differ most.
-	ms := collect(scenario.Mobility(cfg.device()), protos, cfg.runs(3), cfg.BaseSeed)
+	ms := collect(cfg, scenario.Mobility(cfg.device()), protos, cfg.runs(3))
 	t := report.NewTable("§4.6 — existing approaches on the mobility route (250 s)",
 		"Protocol", "Energy (J)", "Downloaded (MB)", "J/B (µJ)")
 	for _, p := range protos {
@@ -291,8 +312,8 @@ func runSec46(cfg Config) *Output {
 
 	// Static bad WiFi: WiFi-First stays associated and degenerates.
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(64)) * units.MB}
-	ms2 := collect(scenario.StaticLab(cfg.device(), 0.8, 9, size),
-		[]scenario.Protocol{scenario.WiFiFirst, scenario.TCPWiFi, scenario.EMPTCP}, cfg.runs(3), cfg.BaseSeed)
+	ms2 := collect(cfg, scenario.StaticLab(cfg.device(), 0.8, 9, size),
+		[]scenario.Protocol{scenario.WiFiFirst, scenario.TCPWiFi, scenario.EMPTCP}, cfg.runs(3))
 	t2 := report.NewTable("§4.6 — static bad WiFi (still associated)",
 		"Protocol", "Energy (J)", "Download time (s)")
 	for _, p := range []scenario.Protocol{scenario.WiFiFirst, scenario.TCPWiFi, scenario.EMPTCP} {

@@ -146,13 +146,19 @@ func runFig4(cfg Config) *Output {
 	}
 	t := report.NewTable("Figure 4 — LTE interval (Mbps) where MPTCP most efficiently completes the whole transfer",
 		"WiFi (Mbps)", "1 MB", "4 MB", "16 MB")
-	regions := map[string]eib.Region{}
-	for _, size := range []struct {
+	sizes := []struct {
 		label string
 		bytes units.ByteSize
-	}{{"1 MB", units.MB}, {"4 MB", 4 * units.MB}, {"16 MB", 16 * units.MB}} {
-		regions[size.label] = eib.OperatingRegion(d, size.bytes, units.MbpsRate(6), units.MbpsRate(12), n)
-		out.Metrics["area_"+strings.ReplaceAll(size.label, " ", "")] = regions[size.label].Area()
+	}{{"1 MB", units.MB}, {"4 MB", 4 * units.MB}, {"16 MB", 16 * units.MB}}
+	// The per-size region sweeps are independent grid computations; fan
+	// them across the pool.
+	regs := repeatRuns(cfg, len(sizes), func(i int) eib.Region {
+		return eib.OperatingRegion(d, sizes[i].bytes, units.MbpsRate(6), units.MbpsRate(12), n)
+	})
+	regions := map[string]eib.Region{}
+	for i, size := range sizes {
+		regions[size.label] = regs[i]
+		out.Metrics["area_"+strings.ReplaceAll(size.label, " ", "")] = regs[i].Area()
 	}
 	r1 := regions["1 MB"]
 	for i := range r1.WiFi {
@@ -221,11 +227,13 @@ func runFig11(cfg Config) *Output {
 	put(route.PositionAt(route.Duration()), 'E')
 	put(ap, '#')
 
-	m := "Figure 11 — route (S start, E end, * path, # AP, · usable range edge)\n"
+	var m strings.Builder
+	m.WriteString("Figure 11 — route (S start, E end, * path, # AP, · usable range edge)\n")
 	for _, row := range grid {
-		m += string(row) + "\n"
+		m.WriteString(string(row))
+		m.WriteString("\n")
 	}
-	out.Notes = append(out.Notes, m)
+	out.Notes = append(out.Notes, m.String())
 
 	// Quantify the route the way §4.5 uses it.
 	outOfRange := 0.0

@@ -52,8 +52,20 @@ var categories = []struct {
 }
 
 // wildRuns executes `runs` iterations per category, spreading them across
-// the three server locations as the paper's trace collection did.
+// the three server locations as the paper's trace collection did. The full
+// category × run × protocol grid is flattened onto the worker pool (runs
+// share seeds across protocols, as the paper's paired measurements do) and
+// reduced in index order, keeping the whisker tables deterministic.
 func wildRuns(cfg Config, size units.ByteSize, protos []scenario.Protocol, runs int) map[string]map[scenario.Protocol]*measures {
+	np := len(protos)
+	rs := repeatRuns(cfg, len(categories)*runs*np, func(j int) scenario.Result {
+		ci, rem := j/(runs*np), j%(runs*np)
+		i, pi := rem/np, rem%np
+		cat := categories[ci]
+		loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
+		sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
+		return scenario.Run(sc, protos[pi], scenario.Opts{Seed: cfg.BaseSeed + int64(ci*1000+i)})
+	})
 	out := map[string]map[scenario.Protocol]*measures{}
 	for ci, cat := range categories {
 		byProto := map[scenario.Protocol]*measures{}
@@ -61,16 +73,8 @@ func wildRuns(cfg Config, size units.ByteSize, protos []scenario.Protocol, runs 
 			byProto[p] = &measures{}
 		}
 		for i := 0; i < runs; i++ {
-			loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
-			sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
-			seed := cfg.BaseSeed + int64(ci*1000+i)
-			for _, p := range protos {
-				r := scenario.Run(sc, p, scenario.Opts{Seed: seed})
-				m := byProto[p]
-				m.energy = append(m.energy, r.Energy.Joules())
-				m.time = append(m.time, r.CompletionTime)
-				m.jpb = append(m.jpb, r.JPerByte)
-				m.downMB = append(m.downMB, r.Downloaded.Megabytes())
+			for pi, p := range protos {
+				byProto[p].add(rs[ci*runs*np+i*np+pi])
 			}
 		}
 		out[cat.name] = byProto
@@ -91,18 +95,29 @@ func runFig14(cfg Config) *Output {
 	size := units.ByteSize(cfg.scaleMB(16)) * units.MB
 	runs := cfg.runs(6)
 	correct, total := 0, 0
+	type catRun struct {
+		completed bool
+		wifi, lte units.BitRate
+	}
+	rs := repeatRuns(cfg, len(categories)*runs, func(j int) catRun {
+		ci, i := j/runs, j%runs
+		cat := categories[ci]
+		loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
+		sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
+		r := scenario.Run(sc, scenario.MPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(ci*1000+i)})
+		// The per-run link-rate draw is what the paper's Figure 14
+		// scatters; re-derive it by replaying the run's seed.
+		w, l := drawnRates(sc, cfg.BaseSeed+int64(ci*1000+i))
+		return catRun{completed: r.Completed, wifi: w, lte: l}
+	})
 	for ci, cat := range categories {
 		for i := 0; i < runs; i++ {
-			loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
-			sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
-			r := scenario.Run(sc, scenario.MPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(ci*1000+i)})
-			if !r.Completed {
+			cr := rs[ci*runs+i]
+			if !cr.completed {
 				continue
 			}
-			// The per-run link-rate draw is what the paper's Figure 14
-			// scatters; re-derive it by replaying the run's seed.
-			w, l := drawnRates(sc, cfg.BaseSeed+int64(ci*1000+i))
-			wifiMbps, lteMbps := w.Mbit(), l.Mbit()
+			wifiMbps, lteMbps := cr.wifi.Mbit(), cr.lte.Mbit()
+			w, l := cr.wifi, cr.lte
 			meas := fmt.Sprintf("%v WiFi & %v LTE", scenario.Categorize(w), scenario.Categorize(l))
 			want := fmt.Sprintf("%v WiFi & %v LTE", cat.wifiQ, cat.lteQ)
 			if meas == want {
@@ -186,15 +201,9 @@ func runFig17(cfg Config) *Output {
 	runs := cfg.runs(10)
 	t := report.NewTable("Figure 17 — Web browsing",
 		"Protocol", "Energy (J, mean ± SEM)", "Latency (s, mean ± SEM)")
-	ms := map[scenario.Protocol]*measures{}
+	ms := collect(cfg, scenario.WebBrowsing(cfg.device()), labProtos, runs)
 	for _, p := range labProtos {
-		m := &measures{}
-		for i := 0; i < runs; i++ {
-			r := scenario.Run(scenario.WebBrowsing(cfg.device()), p, scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-			m.energy = append(m.energy, r.Energy.Joules())
-			m.time = append(m.time, r.CompletionTime)
-		}
-		ms[p] = m
+		m := ms[p]
 		t.Add(p.String(), report.MeanSEM(stats.Summarize(m.energy)), report.MeanSEM(stats.Summarize(m.time)))
 	}
 	out.Tables = append(out.Tables, t)

@@ -83,7 +83,7 @@ type flow struct {
 	queueFreeAt float64
 	inFlight    map[int]bool // unacked segments currently in the network
 	acked       map[int]bool // segments delivered and acknowledged
-	rtoEv       *sim.Event
+	rtoEv       sim.Event
 	srtt        float64
 	res         Result
 }
@@ -189,9 +189,7 @@ func (f *flow) onAck(seq int, rttSample float64) {
 	}
 	if f.highestAck >= f.totalSegs {
 		f.res.FinishedAt = f.eng.Now()
-		if f.rtoEv != nil {
-			f.rtoEv.Cancel()
-		}
+		f.rtoEv.Cancel()
 		f.eng.Stop()
 		return
 	}
@@ -252,9 +250,7 @@ func (f *flow) retransmitNextHole() {
 
 // armRTO (re)schedules the retransmission timer.
 func (f *flow) armRTO() {
-	if f.rtoEv != nil {
-		f.rtoEv.Cancel()
-	}
+	f.rtoEv.Cancel()
 	if f.highestAck >= f.totalSegs {
 		return
 	}

@@ -1,0 +1,93 @@
+// Package runner is the deterministic parallel executor behind the
+// experiment harness. Repeated seeded scenario runs are embarrassingly
+// parallel — each owns its engine, RNG and accountant — so the harness
+// fans them across a worker pool and merges results in index order,
+// keeping every table byte-identical to a sequential run regardless of
+// worker count or scheduling.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-width worker pool. Pools are cheap value-like objects:
+// they hold no goroutines between calls, only a width, so building one per
+// call site is fine.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. Non-positive widths select
+// GOMAXPROCS, the number of usable cores.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map evaluates fn(0..n-1) across the pool's workers and returns the
+// results in index order. With one worker (or n ≤ 1) it degenerates to the
+// plain sequential loop, bit-for-bit. A panic in any fn is re-raised on
+// the calling goroutine after the other workers drain.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal atomic.Value
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if panicked.CompareAndSwap(false, true) {
+						panicVal.Store(r)
+					}
+				}
+			}()
+			for !panicked.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal.Load())
+	}
+	return out
+}
+
+// Each is Map without results: it runs fn(0..n-1) across the pool and
+// waits for all of them.
+func (p *Pool) Each(n int, fn func(i int)) {
+	Map(p, n, func(i int) struct{} {
+		fn(i)
+		return struct{}{}
+	})
+}

@@ -24,10 +24,31 @@ func BenchmarkEventThroughput(b *testing.B) {
 // are).
 func BenchmarkHeapChurn(b *testing.B) {
 	e := New()
+	fn := func() {}
 	for i := 0; i < b.N; i++ {
-		ev := e.Schedule(e.Now()+10, func() {})
-		e.Schedule(e.Now()+1, func() {})
+		ev := e.Schedule(e.Now()+10, fn)
+		e.Schedule(e.Now()+1, fn)
 		ev.Cancel()
+		e.Step()
+	}
+}
+
+// BenchmarkSimKernel is the acceptance benchmark for the allocation-free
+// kernel: steady-state schedule/fire with a modest standing population of
+// timers, the shape every scenario run produces (run with -benchmem; the
+// free-listed node arena and value-entry heap must report 0 allocs/op).
+func BenchmarkSimKernel(b *testing.B) {
+	e := New()
+	fn := func() {}
+	// A standing population of far-out timers (RTOs, tickers) keeps the
+	// heap non-trivially deep.
+	for i := 0; i < 64; i++ {
+		e.Schedule(1e9+float64(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+1, fn)
 		e.Step()
 	}
 }

@@ -1,15 +1,21 @@
 // Package sim implements the discrete-event simulation kernel underlying
 // the eMPTCP reproduction.
 //
-// The kernel is a classic event-list simulator: a binary heap of timestamped
-// events, a virtual clock that jumps from event to event, and cancellable
-// timers. Simulated time is float64 seconds; the kernel is single-threaded
-// and deterministic, which keeps every experiment exactly reproducible from
-// its seed.
+// The kernel is a classic event-list simulator: a priority queue of
+// timestamped events, a virtual clock that jumps from event to event, and
+// cancellable timers. Simulated time is float64 seconds; the kernel is
+// single-threaded and deterministic, which keeps every experiment exactly
+// reproducible from its seed. (Whole runs are embarrassingly parallel —
+// internal/runner fans independent engines across cores — but one engine
+// is never shared between goroutines.)
+//
+// The event queue is an inlined 4-ary min-heap over small value entries,
+// and event state lives in a free-listed node arena, so steady-state
+// scheduling performs no allocations: a schedule/fire cycle reuses the
+// node and heap slot freed by the previous one.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -17,58 +23,73 @@ import (
 // Time is a point in simulated time, in seconds since the start of the run.
 type Time = float64
 
-// Event is a scheduled callback.
-type Event struct {
-	at   Time
-	seq  uint64 // tie-breaker: FIFO among same-time events
+// node is the engine-owned state of one scheduled event. Nodes are pooled:
+// after an event fires or its cancelled entry is drained, its node returns
+// to the free list and its generation is bumped on reuse, which invalidates
+// stale Event handles.
+type node struct {
 	fn   func()
-	idx  int // heap index, -1 when not queued
+	gen  uint32
 	dead bool
 }
 
+// entry is one heap element. Entries are values, never boxed, so heap
+// operations allocate nothing.
+type entry struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	idx int32  // index into Engine.nodes
+}
+
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Event is a cancellable handle to a scheduled callback. The zero value is
+// a valid "never scheduled" handle: Cancel is a no-op and Cancelled reports
+// true. Handles are values; copying one copies the reference.
+type Event struct {
+	eng *Engine
+	at  Time
+	idx int32
+	gen uint32
+}
+
 // At returns the time the event fires (or fired).
-func (e *Event) At() Time { return e.at }
+func (e Event) At() Time { return e.at }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.dead = true }
-
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e Event) Cancel() {
+	if e.eng == nil {
+		return
 	}
-	return q[i].seq < q[j].seq
+	n := &e.eng.nodes[e.idx]
+	if n.gen == e.gen {
+		n.dead = true
+	}
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+
+// Cancelled reports whether the event will never fire because it was
+// cancelled (or was never schedulable, like an infinite-delay timer). An
+// event that already fired reports false.
+func (e Event) Cancelled() bool {
+	if e.eng == nil {
+		return true
+	}
+	n := &e.eng.nodes[e.idx]
+	return n.gen == e.gen && n.dead
 }
 
 // Engine is the simulation driver. The zero value is not usable; call New.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	heap    []entry
+	nodes   []node
+	free    []int32
 	seq     uint64
 	running bool
 	stopped bool
@@ -87,30 +108,106 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns how many events are queued (including cancelled ones not
 // yet drained).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// push adds an entry to the 4-ary heap, sifting up.
+func (e *Engine) push(it entry) {
+	h := append(e.heap, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// pop removes and returns the minimum entry, sifting the last element down.
+func (e *Engine) pop() entry {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entryLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !entryLess(h[m], last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// alloc takes a node from the free list (bumping its generation so stale
+// handles miss) or grows the arena.
+func (e *Engine) alloc(fn func()) int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		nd := &e.nodes[idx]
+		nd.gen++
+		nd.fn = fn
+		nd.dead = false
+		return idx
+	}
+	e.nodes = append(e.nodes, node{fn: fn})
+	return int32(len(e.nodes) - 1)
+}
+
+// release returns a node to the free list, dropping its callback so the
+// closure can be collected. The generation is bumped on reuse, not here,
+// so a drained-cancelled node keeps answering Cancelled()=true until its
+// slot is recycled.
+func (e *Engine) release(idx int32) {
+	e.nodes[idx].fn = nil
+	e.free = append(e.free, idx)
+}
 
 // Schedule queues fn to run at absolute time at. Scheduling in the past
 // (before Now) panics: it is always a logic error in a causal simulation.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if math.IsNaN(at) {
 		panic("sim: scheduling at NaN time")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	idx := e.alloc(fn)
+	e.push(entry{at: at, seq: e.seq, idx: idx})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	return Event{eng: e, at: at, idx: idx, gen: e.nodes[idx].gen}
 }
 
 // After queues fn to run delay seconds from now. Negative delays are
 // clamped to zero (fire "immediately", after already-queued same-time
 // events). Infinite delays are never scheduled and return a pre-cancelled
 // event.
-func (e *Engine) After(delay float64, fn func()) *Event {
+func (e *Engine) After(delay float64, fn func()) Event {
 	if math.IsInf(delay, 1) {
-		return &Event{at: math.Inf(1), dead: true, idx: -1}
+		return Event{at: math.Inf(1)}
 	}
 	if delay < 0 {
 		delay = 0
@@ -124,21 +221,27 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single next event, advancing the clock. It returns false
 // when the queue is empty or only holds events past the horizon.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.dead {
-			heap.Pop(&e.queue)
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		nd := &e.nodes[top.idx]
+		if nd.dead {
+			e.pop()
+			e.release(top.idx)
 			continue
 		}
-		if e.Horizon > 0 && ev.at > e.Horizon {
+		if e.Horizon > 0 && top.at > e.Horizon {
 			// Advance the clock to the horizon so callers measuring
 			// elapsed time see a full window.
 			e.now = e.Horizon
 			return false
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		ev.fn()
+		e.pop()
+		fn := nd.fn
+		// Release before firing: the callback may schedule, and reusing
+		// this node immediately keeps the steady state allocation-free.
+		e.release(top.idx)
+		e.now = top.at
+		fn()
 		return true
 	}
 	return false
@@ -162,13 +265,15 @@ func (e *Engine) Run() Time {
 // queued. It returns the simulated time afterwards, which is t if the
 // queue outlived it.
 func (e *Engine) RunUntil(t Time) Time {
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		// Drain dead events so the head is live.
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+		top := e.heap[0]
+		if e.nodes[top.idx].dead {
+			e.pop()
+			e.release(top.idx)
 			continue
 		}
-		if e.queue[0].at > t {
+		if top.at > t {
 			break
 		}
 		if !e.Step() {
@@ -190,7 +295,8 @@ type Ticker struct {
 	eng      *Engine
 	interval float64
 	fn       func()
-	ev       *Event
+	tick     func() // allocated once; re-armed without a fresh closure
+	ev       Event
 	stopped  bool
 }
 
@@ -200,12 +306,7 @@ func (e *Engine) Tick(interval float64, fn func()) *Ticker {
 		panic("sim: Tick interval must be positive")
 	}
 	t := &Ticker{eng: e, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.interval, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
@@ -213,15 +314,19 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.interval, t.tick)
 }
 
 // Stop cancels the ticker. The callback will not fire again.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }
 
 // Interval returns the current ticker period in seconds.
