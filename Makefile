@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench bench-json experiments traces fmt vet cover clean
+.PHONY: all build test short bench bench-json experiments traces trace-demo fmt vet cover clean
 
 all: build test
 
@@ -31,6 +31,11 @@ traces:
 	$(GO) run ./cmd/tracegen -scenario mobility > mobility.tsv
 	$(GO) run ./cmd/tracegen -scenario random > random.tsv
 
+# Sample structured trace from the Fig. 8 scenario: JSONL event timeline
+# plus per-run aggregate metrics, byte-identical at any -j.
+trace-demo:
+	$(GO) run ./cmd/emptcpsim -quick -trace fig8-trace.jsonl -metrics fig8-metrics.json fig8
+
 fmt:
 	gofmt -w .
 
@@ -41,4 +46,4 @@ cover:
 	$(GO) test -cover ./...
 
 clean:
-	rm -f mobility.tsv random.tsv test_output.txt bench_output.txt
+	rm -f mobility.tsv random.tsv fig8-trace.jsonl fig8-metrics.json test_output.txt bench_output.txt

@@ -2,13 +2,19 @@
 //
 // Usage:
 //
-//	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [-j N] [experiment ...]
+//	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [-j N]
+//	          [-trace FILE] [-metrics FILE] [experiment ...]
 //
 // With no arguments it lists the available experiments. Pass experiment
 // ids ("fig5", "table2", ...) or "all" to run everything in paper order.
 // Experiments are independent seeded simulations, so -j runs them (and
 // the repeated runs inside each) across N workers; -j 1 is fully
 // sequential. Output is byte-identical at any -j.
+//
+// -trace writes a structured JSONL event timeline (one recorder per
+// seeded run, merged in run order) and -metrics writes per-run aggregate
+// counters and time series; both require exactly one experiment id so the
+// run numbering is meaningful, and both are byte-identical at any -j.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/exp"
 	"repro/internal/runner"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -38,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quickMode := fs.Bool("quick", false, "shrink transfer sizes and repetition counts (~10x faster)")
 	csvMode := fs.Bool("csv", false, "emit result tables as CSV instead of aligned text")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker count for parallel runs (1 = sequential)")
+	traceFile := fs.String("trace", "", "write a JSONL trace-event timeline to FILE (single experiment only)")
+	metricsFile := fs.String("metrics", "", "write per-run JSON metrics to FILE (single experiment only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -80,6 +89,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *traceFile != "" || *metricsFile != "" {
+		// One experiment keeps run numbering deterministic: batches are
+		// reserved by that experiment's orchestration alone, not racing
+		// with other experiments on the pool.
+		if len(es) != 1 {
+			fmt.Fprintln(stderr, "-trace/-metrics require exactly one experiment id")
+			return 2
+		}
+		cfg.Trace = &trace.Collector{
+			WantEvents:  *traceFile != "",
+			WantMetrics: *metricsFile != "",
+		}
+	}
+
 	// Each experiment renders its section into a buffer on the worker
 	// pool; sections are written out in request order, so the transcript
 	// is byte-identical to a sequential run (modulo wall times).
@@ -101,5 +124,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, s := range sections {
 		io.WriteString(stdout, s)
 	}
+	if cfg.Trace != nil {
+		if err := exportTrace(cfg.Trace, *traceFile, *metricsFile); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// exportTrace writes the collected per-run timelines and metrics.
+func exportTrace(c *trace.Collector, traceFile, metricsFile string) error {
+	write := func(path string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceFile != "" {
+		if err := write(traceFile, c.WriteJSONL); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if metricsFile != "" {
+		if err := write(metricsFile, c.WriteMetrics); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -121,5 +123,76 @@ func TestUnknownExperimentFailsBeforeRunning(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "fig99") {
 		t.Error("error message should name the bad id")
+	}
+}
+
+func TestTraceFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	tf := filepath.Join(dir, "trace.jsonl")
+	mf := filepath.Join(dir, "metrics.json")
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-trace", tf, "-metrics", mf, "fig8"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	ev, err := os.ReadFile(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ev), `{"run":0,`) {
+		t.Errorf("trace file should start with run 0: %.80s", ev)
+	}
+	mx, err := os.ReadFile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mx), `"counters":{`) {
+		t.Errorf("metrics file missing counters: %.80s", mx)
+	}
+}
+
+func TestTraceFlagsByteIdenticalAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	paths := map[string]string{}
+	for _, j := range []string{"1", "4"} {
+		tf := filepath.Join(dir, "trace-j"+j+".jsonl")
+		var out, errb strings.Builder
+		if code := run([]string{"-quick", "-j", j, "-trace", tf, "fig8"}, &out, &errb); code != 0 {
+			t.Fatalf("-j %s exit %d, stderr: %s", j, code, errb.String())
+		}
+		paths[j] = tf
+	}
+	e1, err := os.ReadFile(paths["1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e4, err := os.ReadFile(paths["4"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1) == 0 {
+		t.Fatal("empty trace file")
+	}
+	if string(e1) != string(e4) {
+		t.Error("trace files differ between -j 1 and -j 4")
+	}
+}
+
+func TestTraceRequiresSingleExperiment(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-trace", "/tmp/x.jsonl", "fig5", "fig8"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "exactly one experiment") {
+		t.Errorf("missing error message, got: %s", errb.String())
+	}
+}
+
+func TestTraceUnwritableFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-quick", "-trace", "/nonexistent-dir/x.jsonl", "fig8"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "writing trace") {
+		t.Errorf("missing error message, got: %s", errb.String())
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/mptcp"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -379,6 +380,12 @@ func (c *Controller) resumeLTE(wasSuspended bool) {
 func (c *Controller) setPathSet(ps energy.PathSet) {
 	if ps == c.current {
 		return
+	}
+	if rec := c.eng.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			T: c.eng.Now(), Kind: trace.KindPathSet,
+			From: c.current.String(), To: ps.String(),
+		})
 	}
 	c.current = ps
 	c.Switches++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -60,6 +61,30 @@ type Radio struct {
 	associated bool    // whether AssocEnergy has been charged
 	quality    float64 // link quality in [0,1] for the weak-signal model
 	energy     units.Energy
+
+	rec        trace.Recorder
+	stateSince float64 // integrator time the current state was entered
+}
+
+// SetRecorder attaches a trace recorder receiving one KindRadio event per
+// RRC state transition (with the exited state's dwell time); nil disables.
+func (r *Radio) SetRecorder(rec trace.Recorder) { r.rec = rec }
+
+// setState transitions the state machine at the integrator's current
+// time, emitting the trace event and restarting the dwell clock.
+func (r *Radio) setState(s RRCState) {
+	if s == r.state {
+		return
+	}
+	if r.rec != nil {
+		r.rec.Record(trace.Event{
+			T: r.now, Kind: trace.KindRadio,
+			Iface: r.Iface.String(), From: r.state.String(), To: s.String(),
+			A: r.now - r.stateSince,
+		})
+	}
+	r.state = s
+	r.stateSince = r.now
 }
 
 // NewRadio returns an idle radio with the given parameters.
@@ -110,16 +135,16 @@ func (r *Radio) Activate(t float64) (readyAt float64) {
 	case Active:
 		return t
 	case Tail, FACH:
-		r.state = Active
+		r.setState(Active)
 		return t
 	case Promotion:
 		return r.promoEnd
 	default: // Idle
 		if r.Params.PromoDur <= 0 {
-			r.state = Active
+			r.setState(Active)
 			return t
 		}
-		r.state = Promotion
+		r.setState(Promotion)
 		r.promoEnd = t + r.Params.PromoDur
 		return r.promoEnd
 	}
@@ -164,7 +189,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 			r.now = end
 			if r.now >= r.promoEnd {
 				if active {
-					r.state = Active
+					r.setState(Active)
 				} else {
 					// Promotion with nothing to send still pays the tail.
 					r.startTail()
@@ -180,7 +205,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 			r.startTail()
 		case Tail:
 			if active {
-				r.state = Active
+				r.setState(Active)
 				continue
 			}
 			end := math.Min(t, r.tailEnd)
@@ -192,7 +217,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 		case FACH:
 			if active && down+up > r.Params.FACHRate {
 				// Demand beyond the shared channel re-promotes to DCH.
-				r.state = Active
+				r.setState(Active)
 				continue
 			}
 			// FACH carries low-rate traffic at its own flat power and
@@ -204,7 +229,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 			r.energy += r.Params.FACHPower.Over(units.Duration(end - r.now))
 			r.now = end
 			if !active && r.now >= r.fachEnd {
-				r.state = Idle
+				r.setState(Idle)
 			}
 			if active {
 				// Activity extends the FACH dwell.
@@ -220,7 +245,7 @@ func (r *Radio) startTail() {
 		r.startFACHorIdle()
 		return
 	}
-	r.state = Tail
+	r.setState(Tail)
 	r.tailEnd = r.now + r.Params.TailDur
 }
 
@@ -228,10 +253,10 @@ func (r *Radio) startTail() {
 // models it, straight to Idle otherwise.
 func (r *Radio) startFACHorIdle() {
 	if r.Params.FACHDur <= 0 {
-		r.state = Idle
+		r.setState(Idle)
 		return
 	}
-	r.state = FACH
+	r.setState(FACH)
 	r.fachEnd = r.now + r.Params.FACHDur
 }
 
@@ -305,6 +330,14 @@ func NewAccountant(p *DeviceProfile) *Accountant {
 
 // Radio returns the state machine for the given interface.
 func (a *Accountant) Radio(i Interface) *Radio { return a.radios[i] }
+
+// SetRecorder attaches a trace recorder to every radio, so each RRC
+// state transition is recorded; nil disables.
+func (a *Accountant) SetRecorder(rec trace.Recorder) {
+	for i := 0; i < NumInterfaces; i++ {
+		a.radios[i].SetRecorder(rec)
+	}
+}
 
 // Now returns the time the integrator has reached.
 func (a *Accountant) Now() float64 { return a.now }

@@ -13,7 +13,9 @@ import (
 	"repro/internal/energy"
 	"repro/internal/report"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Config parameterizes an experiment run.
@@ -30,6 +32,12 @@ type Config struct {
 	// sequential path, 0 (or negative) selects all cores. Results are
 	// merged in seed order, so output is byte-identical at any setting.
 	Jobs int
+	// Trace, when non-nil, collects structured per-run trace events and
+	// metrics: every repeated-run group reserves one recorder slot per
+	// seeded run, and the collector merges outputs in run-index order, so
+	// trace files are byte-identical at any Jobs setting. Use it with a
+	// single experiment so the run numbering stays meaningful.
+	Trace *trace.Collector
 }
 
 func (c Config) device() *energy.DeviceProfile {
@@ -72,8 +80,16 @@ func (c Config) pool() *runner.Pool { return runner.New(c.Jobs) }
 // order. Every repeated-run loop in the harness goes through here, so
 // parallel and sequential executions reduce over identical slices and
 // every table regenerates bit-identically.
-func repeatRuns[T any](cfg Config, n int, mk func(i int) T) []T {
-	return runner.Map(cfg.pool(), n, mk)
+//
+// Each index receives a base scenario.Opts carrying its run's trace
+// recorder (nil when tracing is off); mk fills in the seed and any other
+// per-run options. Batches are reserved before the fan-out, on the single
+// orchestration goroutine, so run numbering is deterministic too.
+func repeatRuns[T any](cfg Config, n int, mk func(i int, opt scenario.Opts) T) []T {
+	batch := cfg.Trace.Batch(n)
+	return runner.Map(cfg.pool(), n, func(i int) T {
+		return mk(i, scenario.Opts{Recorder: batch.Recorder(i)})
+	})
 }
 
 // Output is what an experiment produces.

@@ -61,8 +61,9 @@ func runExtStreaming(cfg Config) *Output {
 		"Protocol", "Energy (J)", "Completion (s)", "LTE used")
 	runs := cfg.runs(5)
 	sc := scenario.StaticLab(cfg.device(), 12, 4.5, w)
-	rs := repeatRuns(cfg, len(labProtos)*runs, func(j int) scenario.Result {
-		return scenario.Run(sc, labProtos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	rs := repeatRuns(cfg, len(labProtos)*runs, func(j int, opt scenario.Opts) scenario.Result {
+		opt.Seed = cfg.BaseSeed + int64(j%runs)
+		return scenario.Run(sc, labProtos[j/runs], opt)
 	})
 	ms := map[scenario.Protocol]*measures{}
 	for pi, p := range labProtos {
@@ -93,12 +94,12 @@ func runExtUpload(cfg Config) *Output {
 	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP, scenario.TCPWiFi, scenario.TCPLTE}
 	runs := cfg.runs(3)
 	type upDown struct{ up, down float64 }
-	rs := repeatRuns(cfg, len(protos)*runs, func(j int) upDown {
+	rs := repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) upDown {
 		p, i := protos[j/runs], j%runs
-		up := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileUpload{Size: size}), p,
-			scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
-		down := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileDownload{Size: size}), p,
-			scenario.Opts{Seed: cfg.BaseSeed + int64(i)})
+		opt.Seed = cfg.BaseSeed + int64(i)
+		// Both directions of one index share the run's recorder slot.
+		up := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileUpload{Size: size}), p, opt)
+		down := scenario.Run(scenario.StaticLab(cfg.device(), 6, 4.5, workload.FileDownload{Size: size}), p, opt)
 		return upDown{up: up.Energy.Joules(), down: down.Energy.Joules()}
 	})
 	for pi, p := range protos {
@@ -251,8 +252,9 @@ func runExtMultiAP(cfg Config) *Output {
 	runs := cfg.runs(3)
 	for _, b := range builds {
 		sc := b.mk(cfg.device())
-		rs := repeatRuns(cfg, len(protos)*runs, func(j int) scenario.Result {
-			return scenario.Run(sc, protos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+		rs := repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) scenario.Result {
+			opt.Seed = cfg.BaseSeed + int64(j%runs)
+			return scenario.Run(sc, protos[j/runs], opt)
 		})
 		for pi, p := range protos {
 			var dl, e, lteE []float64
@@ -297,12 +299,13 @@ func runExtSweep(cfg Config) *Output {
 	tk := report.NewTable("κ sweep — 256 KB downloads over 4 Mbps WiFi / 4.5 Mbps LTE",
 		"κ", "LTE established (runs)", "Mean energy (J)")
 	kappas := []float64{64, 256, 1024, 4096}
-	kRuns := repeatRuns(cfg, len(kappas)*runs, func(j int) scenario.Result {
+	kRuns := repeatRuns(cfg, len(kappas)*runs, func(j int, opt scenario.Opts) scenario.Result {
 		coreCfg := core.DefaultConfig()
 		coreCfg.Kappa = units.ByteSize(kappas[j/runs]) * units.KB
 		sc := scenario.StaticLab(cfg.device(), 4, 4.5, workload.FileDownload{Size: 256 * units.KB})
 		sc.CoreConfig = &coreCfg
-		return scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+		opt.Seed = cfg.BaseSeed + int64(j%runs)
+		return scenario.Run(sc, scenario.EMPTCP, opt)
 	})
 	for ki, kappaKB := range kappas {
 		lteRuns := 0
@@ -324,12 +327,13 @@ func runExtSweep(cfg Config) *Output {
 	tt := report.NewTable("τ sweep — 8 MB downloads over 0.5 Mbps WiFi / 4.5 Mbps LTE",
 		"τ (s)", "Mean completion (s)", "Mean energy (J)")
 	taus := []float64{1, 3, 6, 12}
-	tRuns := repeatRuns(cfg, len(taus)*runs, func(j int) scenario.Result {
+	tRuns := repeatRuns(cfg, len(taus)*runs, func(j int, opt scenario.Opts) scenario.Result {
 		coreCfg := core.DefaultConfig()
 		coreCfg.Tau = taus[j/runs]
 		sc := scenario.StaticLab(cfg.device(), 0.5, 4.5, workload.FileDownload{Size: 8 * units.MB})
 		sc.CoreConfig = &coreCfg
-		return scenario.Run(sc, scenario.EMPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+		opt.Seed = cfg.BaseSeed + int64(j%runs)
+		return scenario.Run(sc, scenario.EMPTCP, opt)
 	})
 	for ti, tau := range taus {
 		var ts, es []float64
@@ -381,7 +385,7 @@ func runExtHOL(cfg Config) *Output {
 		return done
 	}
 	buffers := []units.ByteSize{0, 8 * units.MB, 1 * units.MB, 256 * units.KB, 64 * units.KB}
-	ds := repeatRuns(cfg, len(buffers), func(i int) float64 { return run(buffers[i]) })
+	ds := repeatRuns(cfg, len(buffers), func(i int, _ scenario.Opts) float64 { return run(buffers[i]) })
 	unlimited := ds[0]
 	for bi, rb := range buffers {
 		label := "unlimited"
@@ -429,19 +433,20 @@ func runExtBattery(cfg Config) *Output {
 	// downloads, then the stream. Joules are summed in index order, so the
 	// floating-point total is identical at any job count.
 	perProto := webSessions + downloads + 1
-	joules := repeatRuns(cfg, len(labProtos)*perProto, func(j int) float64 {
+	joules := repeatRuns(cfg, len(labProtos)*perProto, func(j int, opt scenario.Opts) float64 {
 		p, k := labProtos[j/perProto], j%perProto
 		var r scenario.Result
 		switch {
 		case k < webSessions:
-			r = scenario.Run(scenario.WebBrowsing(dev), p, scenario.Opts{Seed: cfg.BaseSeed + int64(k)})
+			opt.Seed = cfg.BaseSeed + int64(k)
+			r = scenario.Run(scenario.WebBrowsing(dev), p, opt)
 		case k < webSessions+downloads:
+			opt.Seed = cfg.BaseSeed + 100 + int64(k-webSessions)
 			r = scenario.Run(scenario.Wild(dev, scenario.Good, scenario.Good, scenario.WDC,
-				workload.FileDownload{Size: 16 * units.MB}), p,
-				scenario.Opts{Seed: cfg.BaseSeed + 100 + int64(k-webSessions)})
+				workload.FileDownload{Size: 16 * units.MB}), p, opt)
 		default:
-			r = scenario.Run(scenario.StaticLab(dev, 12, 4.5, workload.DefaultStreaming()), p,
-				scenario.Opts{Seed: cfg.BaseSeed + 200})
+			opt.Seed = cfg.BaseSeed + 200
+			r = scenario.Run(scenario.StaticLab(dev, 12, 4.5, workload.DefaultStreaming()), p, opt)
 		}
 		return r.Energy.Joules()
 	})

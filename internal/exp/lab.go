@@ -92,8 +92,9 @@ func (m *measures) add(r scenario.Result) {
 // protocol × seed grid is flattened onto the worker pool and reduced in
 // index order, so the tables built from it are identical at any job count.
 func collect(cfg Config, sc scenario.Scenario, protos []scenario.Protocol, runs int) map[scenario.Protocol]*measures {
-	rs := repeatRuns(cfg, len(protos)*runs, func(j int) scenario.Result {
-		return scenario.Run(sc, protos[j/runs], scenario.Opts{Seed: cfg.BaseSeed + int64(j%runs)})
+	rs := repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) scenario.Result {
+		opt.Seed = cfg.BaseSeed + int64(j%runs)
+		return scenario.Run(sc, protos[j/runs], opt)
 	})
 	out := map[scenario.Protocol]*measures{}
 	for pi, p := range protos {
@@ -155,8 +156,10 @@ func runFig7(cfg Config) *Output {
 	t := report.NewTable("Figure 7 — random WiFi bandwidth (single run)",
 		"Protocol", "Energy (J)", "Download time (s)")
 	sc := scenario.RandomBandwidth(cfg.device(), size)
-	rs := repeatRuns(cfg, len(labProtos), func(i int) scenario.Result {
-		return scenario.Run(sc, labProtos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	rs := repeatRuns(cfg, len(labProtos), func(i int, opt scenario.Opts) scenario.Result {
+		opt.Seed = cfg.BaseSeed
+		opt.Trace = true
+		return scenario.Run(sc, labProtos[i], opt)
 	})
 	for pi, p := range labProtos {
 		r := rs[pi]
@@ -185,8 +188,10 @@ func runFig9(cfg Config) *Output {
 	size := workload.FileDownload{Size: units.ByteSize(cfg.scaleMB(256)) * units.MB}
 	protos := []scenario.Protocol{scenario.MPTCP, scenario.EMPTCP}
 	sc := scenario.BackgroundTraffic(cfg.device(), 2, 0.05, 0.025, size)
-	rs := repeatRuns(cfg, len(protos), func(i int) scenario.Result {
-		return scenario.Run(sc, protos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	rs := repeatRuns(cfg, len(protos), func(i int, opt scenario.Opts) scenario.Result {
+		opt.Seed = cfg.BaseSeed
+		opt.Trace = true
+		return scenario.Run(sc, protos[i], opt)
 	})
 	for pi, p := range protos {
 		r := rs[pi]
@@ -243,8 +248,10 @@ func runFig12(cfg Config) *Output {
 	t := report.NewTable("Figure 12 — mobility trace (250 s)",
 		"Protocol", "Energy (J)", "Downloaded (MB)")
 	sc := scenario.Mobility(cfg.device())
-	rs := repeatRuns(cfg, len(labProtos), func(i int) scenario.Result {
-		return scenario.Run(sc, labProtos[i], scenario.Opts{Seed: cfg.BaseSeed, Trace: true})
+	rs := repeatRuns(cfg, len(labProtos), func(i int, opt scenario.Opts) scenario.Result {
+		opt.Seed = cfg.BaseSeed
+		opt.Trace = true
+		return scenario.Run(sc, labProtos[i], opt)
 	})
 	for pi, p := range labProtos {
 		r := rs[pi]

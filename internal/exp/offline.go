@@ -9,6 +9,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/phy"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/units"
 )
 
@@ -152,7 +153,7 @@ func runFig4(cfg Config) *Output {
 	}{{"1 MB", units.MB}, {"4 MB", 4 * units.MB}, {"16 MB", 16 * units.MB}}
 	// The per-size region sweeps are independent grid computations; fan
 	// them across the pool.
-	regs := repeatRuns(cfg, len(sizes), func(i int) eib.Region {
+	regs := repeatRuns(cfg, len(sizes), func(i int, _ scenario.Opts) eib.Region {
 		return eib.OperatingRegion(d, sizes[i].bytes, units.MbpsRate(6), units.MbpsRate(12), n)
 	})
 	regions := map[string]eib.Region{}

@@ -58,13 +58,14 @@ var categories = []struct {
 // reduced in index order, keeping the whisker tables deterministic.
 func wildRuns(cfg Config, size units.ByteSize, protos []scenario.Protocol, runs int) map[string]map[scenario.Protocol]*measures {
 	np := len(protos)
-	rs := repeatRuns(cfg, len(categories)*runs*np, func(j int) scenario.Result {
+	rs := repeatRuns(cfg, len(categories)*runs*np, func(j int, opt scenario.Opts) scenario.Result {
 		ci, rem := j/(runs*np), j%(runs*np)
 		i, pi := rem/np, rem%np
 		cat := categories[ci]
 		loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
 		sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
-		return scenario.Run(sc, protos[pi], scenario.Opts{Seed: cfg.BaseSeed + int64(ci*1000+i)})
+		opt.Seed = cfg.BaseSeed + int64(ci*1000+i)
+		return scenario.Run(sc, protos[pi], opt)
 	})
 	out := map[string]map[scenario.Protocol]*measures{}
 	for ci, cat := range categories {
@@ -99,12 +100,13 @@ func runFig14(cfg Config) *Output {
 		completed bool
 		wifi, lte units.BitRate
 	}
-	rs := repeatRuns(cfg, len(categories)*runs, func(j int) catRun {
+	rs := repeatRuns(cfg, len(categories)*runs, func(j int, opt scenario.Opts) catRun {
 		ci, i := j/runs, j%runs
 		cat := categories[ci]
 		loc := scenario.AllServerLocs[i%len(scenario.AllServerLocs)]
 		sc := scenario.Wild(cfg.device(), cat.wifiQ, cat.lteQ, loc, workload.FileDownload{Size: size})
-		r := scenario.Run(sc, scenario.MPTCP, scenario.Opts{Seed: cfg.BaseSeed + int64(ci*1000+i)})
+		opt.Seed = cfg.BaseSeed + int64(ci*1000+i)
+		r := scenario.Run(sc, scenario.MPTCP, opt)
 		// The per-run link-rate draw is what the paper's Figure 14
 		// scatters; re-derive it by replaying the run's seed.
 		w, l := drawnRates(sc, cfg.BaseSeed+int64(ci*1000+i))

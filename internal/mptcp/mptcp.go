@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simrng"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -105,6 +106,12 @@ func (c *Connection) AddSubflow(id string, iface energy.Interface, path *tcp.Pat
 	sf := tcp.NewSubflow(id, c.eng, c.src.Split(uint64(len(c.subflows))+0x5f), path, conf, (*connSource)(c))
 	sf.Meta = subflowMeta{iface: iface}
 	c.subflows = append(c.subflows, sf)
+	if rec := c.eng.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			T: c.eng.Now(), Kind: trace.KindSubflow,
+			Subflow: id, Iface: iface.String(), A: extraDelay,
+		})
+	}
 	sf.Connect(extraDelay)
 	return sf
 }
@@ -178,6 +185,18 @@ func (c *Connection) IdleFor(d float64) bool {
 // eMPTCP path usage controller drives this to suspend and resume the LTE
 // path (§3.6).
 func (c *Connection) SetBackup(sf *tcp.Subflow, backup bool) {
+	if backup != sf.Suspended() {
+		if rec := c.eng.Recorder(); rec != nil {
+			flag := 0.0
+			if backup {
+				flag = 1
+			}
+			rec.Record(trace.Event{
+				T: c.eng.Now(), Kind: trace.KindMPPrio,
+				Subflow: sf.ID, Iface: Iface(sf).String(), A: flag,
+			})
+		}
+	}
 	if backup {
 		sf.Suspend()
 		return
@@ -219,6 +238,12 @@ func (cs *connSource) Request(sf *tcp.Subflow, max units.ByteSize) units.ByteSiz
 		if best := c.preferredSubflow(); best != nil && best != sf && best.SRTT() < sf.SRTT() {
 			// Let the faster subflow carry the scarce bytes; look again
 			// once it has had a round's opportunity.
+			if rec := c.eng.Recorder(); rec != nil {
+				rec.Record(trace.Event{
+					T: c.eng.Now(), Kind: trace.KindSchedPick,
+					Subflow: sf.ID, To: best.ID,
+				})
+			}
 			best.Kick()
 			deferred := sf
 			c.eng.After(best.SRTT()+1e-3, deferred.Kick)
@@ -258,6 +283,12 @@ func (cs *connSource) Delivered(sf *tcp.Subflow, n units.ByteSize) {
 	if wasBlocked {
 		// Receive window space freed: wake subflows idled on it.
 		defer c.kickAll()
+	}
+	if rec := c.eng.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			T: c.eng.Now(), Kind: trace.KindDeliver,
+			Subflow: sf.ID, Iface: Iface(sf).String(), A: float64(n),
+		})
 	}
 	if c.OnDelivered != nil {
 		c.OnDelivered(sf, Iface(sf), n)

@@ -7,7 +7,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -31,10 +33,34 @@ func New(workers int) *Pool {
 // Workers returns the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
+// PanicError wraps a panic that escaped a worker's fn, preserving the
+// worker goroutine's stack trace — the re-raise on the calling goroutine
+// would otherwise discard it, leaving only Map's own frames.
+type PanicError struct {
+	// Value is what the worker passed to panic.
+	Value any
+	// Stack is the worker goroutine's stack at recover time.
+	Stack []byte
+}
+
+// Error formats the panic value with the worker's stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: worker panic: %v\n\nworker stack:\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Map evaluates fn(0..n-1) across the pool's workers and returns the
 // results in index order. With one worker (or n ≤ 1) it degenerates to the
 // plain sequential loop, bit-for-bit. A panic in any fn is re-raised on
-// the calling goroutine after the other workers drain.
+// the calling goroutine after the other workers drain, wrapped in a
+// *PanicError carrying the worker's stack trace.
 func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	if n <= 0 {
 		return nil
@@ -63,7 +89,7 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 			defer func() {
 				if r := recover(); r != nil {
 					if panicked.CompareAndSwap(false, true) {
-						panicVal.Store(r)
+						panicVal.Store(&PanicError{Value: r, Stack: debug.Stack()})
 					}
 				}
 			}()

@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -71,8 +73,19 @@ func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
 func TestMapPanicPropagates(t *testing.T) {
 	defer func() {
 		r := recover()
-		if r != "boom-17" {
-			t.Errorf("recovered %v, want the worker's panic value", r)
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PanicError", r, r)
+		}
+		if pe.Value != "boom-17" {
+			t.Errorf("wrapped value = %v, want the worker's panic value", pe.Value)
+		}
+		// The whole point of the wrapper: the worker's frames survive.
+		if !strings.Contains(string(pe.Stack), "TestMapPanicPropagates") {
+			t.Errorf("worker stack missing the panicking fn's frame:\n%s", pe.Stack)
+		}
+		if !strings.Contains(pe.Error(), "boom-17") || !strings.Contains(pe.Error(), "worker stack") {
+			t.Errorf("Error() should include value and stack: %s", pe.Error())
 		}
 	}()
 	Map(New(4), 64, func(i int) int {
@@ -82,6 +95,17 @@ func TestMapPanicPropagates(t *testing.T) {
 		return i
 	})
 	t.Error("Map returned instead of panicking")
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("inner")
+	pe := &PanicError{Value: sentinel}
+	if !errors.Is(pe, sentinel) {
+		t.Error("PanicError should unwrap to the original error value")
+	}
+	if (&PanicError{Value: "not an error"}).Unwrap() != nil {
+		t.Error("non-error panic values unwrap to nil")
+	}
 }
 
 func TestEach(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"repro/internal/simrng"
 	"repro/internal/stats"
 	"repro/internal/tcp"
+	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -116,6 +117,11 @@ type Opts struct {
 	Trace bool
 	// TraceStep is the trace sampling period (default 1 s).
 	TraceStep float64
+	// Recorder, when non-nil, receives structured trace events from the
+	// whole stack (kernel, TCP, MPTCP, radios, controller). Recorders
+	// implementing trace.Sampler additionally get periodic Sample calls
+	// on their own grid. One recorder must serve exactly one run.
+	Recorder trace.Recorder
 }
 
 // Result is what one run measures.
@@ -219,6 +225,15 @@ func Run(sc Scenario, proto Protocol, opt Opts) Result {
 	r.acct = energy.NewAccountant(sc.Device)
 	r.acct.SetExtraBase(sc.AppPower)
 	r.acct.SetSessionActive(true)
+	if opt.Recorder != nil {
+		r.eng.SetRecorder(opt.Recorder)
+		r.acct.SetRecorder(opt.Recorder)
+		if s, ok := opt.Recorder.(trace.Sampler); ok {
+			if every := s.SampleEvery(); every > 0 {
+				r.eng.Tick(every, func() { s.Sample(r.eng.Now()) })
+			}
+		}
+	}
 
 	r.wifiProc = sc.WiFi(r.eng, r.src.Split(0xaa))
 	r.lteProc = sc.LTE(r.eng, r.src.Split(0xbb))

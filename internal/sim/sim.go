@@ -18,15 +18,19 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/trace"
 )
 
 // Time is a point in simulated time, in seconds since the start of the run.
 type Time = float64
 
 // node is the engine-owned state of one scheduled event. Nodes are pooled:
-// after an event fires or its cancelled entry is drained, its node returns
-// to the free list and its generation is bumped on reuse, which invalidates
-// stale Event handles.
+// after an event fires, its generation is bumped immediately — so handles
+// to fired events go stale at once and a late Cancel is a true no-op —
+// and the node returns to the free list. A cancelled entry keeps its
+// generation until its drained node is reused, so Cancelled keeps
+// answering true in the meantime.
 type node struct {
 	fn   func()
 	gen  uint32
@@ -68,8 +72,11 @@ func (e Event) Cancel() {
 		return
 	}
 	n := &e.eng.nodes[e.idx]
-	if n.gen == e.gen {
+	if n.gen == e.gen && !n.dead {
 		n.dead = true
+		if e.eng.rec != nil {
+			e.eng.rec.Record(trace.Event{T: e.eng.now, Kind: trace.KindCancel})
+		}
 	}
 }
 
@@ -93,6 +100,7 @@ type Engine struct {
 	seq     uint64
 	running bool
 	stopped bool
+	rec     trace.Recorder
 	// Horizon, when positive, bounds simulated time: Run returns once the
 	// next event would fire past it.
 	Horizon Time
@@ -105,6 +113,17 @@ func New() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// SetRecorder attaches a trace recorder; nil disables tracing. The
+// models built on the engine (tcp, mptcp, core) emit through Recorder,
+// so attaching one here instruments the whole simulation.
+func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
+
+// Recorder returns the attached trace recorder, or nil when tracing is
+// disabled. Emission sites must guard with a nil check:
+//
+//	if rec := eng.Recorder(); rec != nil { rec.Record(...) }
+func (e *Engine) Recorder() trace.Recorder { return e.rec }
 
 // Pending returns how many events are queued (including cancelled ones not
 // yet drained).
@@ -178,9 +197,10 @@ func (e *Engine) alloc(fn func()) int32 {
 }
 
 // release returns a node to the free list, dropping its callback so the
-// closure can be collected. The generation is bumped on reuse, not here,
-// so a drained-cancelled node keeps answering Cancelled()=true until its
-// slot is recycled.
+// closure can be collected. For fired nodes the caller bumps the
+// generation first (stale handles must miss immediately); for drained
+// cancelled nodes the generation is kept until reuse, so the node keeps
+// answering Cancelled()=true in the meantime.
 func (e *Engine) release(idx int32) {
 	e.nodes[idx].fn = nil
 	e.free = append(e.free, idx)
@@ -198,6 +218,9 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 	idx := e.alloc(fn)
 	e.push(entry{at: at, seq: e.seq, idx: idx})
 	e.seq++
+	if e.rec != nil {
+		e.rec.Record(trace.Event{T: e.now, Kind: trace.KindSchedule, A: at})
+	}
 	return Event{eng: e, at: at, idx: idx, gen: e.nodes[idx].gen}
 }
 
@@ -237,10 +260,18 @@ func (e *Engine) Step() bool {
 		}
 		e.pop()
 		fn := nd.fn
+		// The event is now committed to fire: bump the generation so any
+		// handle to it goes stale immediately — a later Cancel is a true
+		// no-op and Cancelled reports false, rather than marking the
+		// free-listed node dead and ghost-cancelling a reused slot.
+		nd.gen++
 		// Release before firing: the callback may schedule, and reusing
 		// this node immediately keeps the steady state allocation-free.
 		e.release(top.idx)
 		e.now = top.at
+		if e.rec != nil {
+			e.rec.Record(trace.Event{T: e.now, Kind: trace.KindFire})
+		}
 		fn()
 		return true
 	}
@@ -263,8 +294,12 @@ func (e *Engine) Run() Time {
 
 // RunUntil processes events until time t (inclusive), leaving later events
 // queued. It returns the simulated time afterwards, which is t if the
-// queue outlived it.
+// queue outlived it. A positive Horizon still bounds the clock: the
+// target is clamped to it, so RunUntil never advances past the horizon.
 func (e *Engine) RunUntil(t Time) Time {
+	if e.Horizon > 0 && t > e.Horizon {
+		t = e.Horizon
+	}
 	for len(e.heap) > 0 {
 		// Drain dead events so the head is live.
 		top := e.heap[0]

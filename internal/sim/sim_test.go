@@ -276,3 +276,55 @@ func TestClockMonotonicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: Cancel on an already-fired event must be a true no-op. It
+// used to mark the free-listed node dead, ghost-cancelling whatever event
+// reused the slot next.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1, func() {})
+	if !e.Step() {
+		t.Fatal("event did not fire")
+	}
+	if ev.Cancelled() {
+		t.Error("fired event must not report Cancelled")
+	}
+	ev.Cancel() // late cancel of a fired handle
+	if ev.Cancelled() {
+		t.Error("Cancel after fire must not stick to the stale handle")
+	}
+	// The freed node is reused by the next Schedule; the late Cancel above
+	// must not have poisoned it.
+	fired := false
+	ev2 := e.Schedule(2, func() { fired = true })
+	if ev2.Cancelled() {
+		t.Fatal("recycled event born cancelled: stale Cancel leaked onto reused node")
+	}
+	ev.Cancel() // still stale, still a no-op
+	e.Run()
+	if !fired {
+		t.Error("recycled event did not fire after stale Cancel")
+	}
+}
+
+// Regression: RunUntil(t) with t past a positive Horizon used to advance
+// the clock to t via the tail clamp, violating the horizon bound.
+func TestRunUntilClampsToHorizon(t *testing.T) {
+	e := New()
+	e.Horizon = 5
+	fired := false
+	e.Schedule(10, func() { fired = true })
+	if got := e.RunUntil(8); got != 5 {
+		t.Errorf("RunUntil(8) = %v, want horizon 5", got)
+	}
+	if e.Now() != 5 {
+		t.Errorf("now = %v, want clamped to horizon 5", e.Now())
+	}
+	if fired {
+		t.Error("event past horizon fired")
+	}
+	// Targets within the horizon are unaffected.
+	if got := e.RunUntil(3); got != 5 {
+		t.Errorf("RunUntil(3) after clamp = %v, want 5 (clock never rewinds)", got)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// countRecorder tallies events per kind.
+type countRecorder struct {
+	counts [trace.NumKinds]int
+	last   trace.Event
+}
+
+func (c *countRecorder) Record(ev trace.Event) {
+	c.counts[ev.Kind]++
+	c.last = ev
+}
+
+func TestKernelTraceEmission(t *testing.T) {
+	e := New()
+	rec := &countRecorder{}
+	e.SetRecorder(rec)
+	if e.Recorder() != trace.Recorder(rec) {
+		t.Fatal("Recorder() did not return the attached recorder")
+	}
+	ev := e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	ev.Cancel()
+	ev.Cancel() // second cancel is ineffective, must not double-count
+	e.Run()
+	if got := rec.counts[trace.KindSchedule]; got != 2 {
+		t.Errorf("schedule events = %d, want 2", got)
+	}
+	if got := rec.counts[trace.KindCancel]; got != 1 {
+		t.Errorf("cancel events = %d, want 1 (no-op cancels must not record)", got)
+	}
+	if got := rec.counts[trace.KindFire]; got != 1 {
+		t.Errorf("fire events = %d, want 1 (cancelled event must not fire)", got)
+	}
+	if rec.last.T != 2 {
+		t.Errorf("last fire at t=%v, want 2", rec.last.T)
+	}
+}
+
+// The recorder hook must not reintroduce allocations on the hot path.
+func TestTracedScheduleSteadyStateAllocFree(t *testing.T) {
+	e := New()
+	e.SetRecorder(trace.NewJSONL(trace.AllKinds, 1024))
+	// Warm the arena and ring.
+	for i := 0; i < 64; i++ {
+		e.After(1, func() {})
+	}
+	for e.Step() {
+	}
+	fn := func() {}
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("traced schedule/fire cycle allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/sim"
 	"repro/internal/simrng"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -228,6 +229,12 @@ func (sf *Subflow) Connect(extraDelay float64) {
 		sf.cwnd = sf.cfg.InitialWindow
 		sf.ssthresh = sf.cfg.MaxWindow
 		sf.lastSendAt = sf.eng.Now()
+		if rec := sf.eng.Recorder(); rec != nil {
+			rec.Record(trace.Event{
+				T: sf.eng.Now(), Kind: trace.KindTCPState,
+				Subflow: sf.ID, From: Connecting.String(), To: Established.String(),
+			})
+		}
 		if sf.OnEstablished != nil {
 			sf.OnEstablished(sf)
 		}
@@ -305,6 +312,12 @@ func (sf *Subflow) startRound() {
 			sf.cwnd = sf.cfg.InitialWindow
 			sf.ssthresh = math.Max(sf.ssthresh/2, 2)
 			sf.lastSendAt = sf.eng.Now()
+			if rec := sf.eng.Recorder(); rec != nil {
+				rec.Record(trace.Event{
+					T: sf.eng.Now(), Kind: trace.KindLoss,
+					Subflow: sf.ID, To: "timeout", A: sf.cwnd, B: sf.ssthresh,
+				})
+			}
 			sf.source.Returned(sf, n)
 			// Retry while data remains queued for us.
 			sf.startRound()
@@ -342,6 +355,18 @@ func (sf *Subflow) startRound() {
 		}
 		sf.cwnd = math.Min(sf.cwnd, sf.cfg.MaxWindow)
 		sf.cwnd = math.Max(sf.cwnd, 1)
+		if rec := sf.eng.Recorder(); rec != nil {
+			if lost {
+				rec.Record(trace.Event{
+					T: sf.eng.Now(), Kind: trace.KindLoss,
+					Subflow: sf.ID, To: "halve", A: sf.cwnd, B: sf.ssthresh,
+				})
+			}
+			rec.Record(trace.Event{
+				T: sf.eng.Now(), Kind: trace.KindCwnd,
+				Subflow: sf.ID, A: sf.cwnd, B: sf.ssthresh,
+			})
+		}
 
 		// The fluid model delivers the round's bytes reliably; loss is
 		// reflected in window dynamics (retransmissions ride inside the

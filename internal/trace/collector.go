@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Collector owns one recorder set per seeded run of an experiment, so
+// tracing composes with parallel execution: every run records into its
+// own recorder (engines are single-threaded and never share one), and
+// the exporters merge the per-run outputs in run-index order. Since runs
+// are deterministic given their seed, the merged output is byte-
+// identical at any worker count.
+//
+// The orchestration layer (exp.repeatRuns) asks for one Batch per
+// repeated-run group; batches must be created from a single goroutine in
+// a deterministic order (experiment orchestration is sequential), while
+// Batch.Recorder may be called from any worker.
+type Collector struct {
+	// WantEvents enables the per-run JSONL timeline recorders.
+	WantEvents bool
+	// WantMetrics enables the per-run aggregating Metrics recorders.
+	WantMetrics bool
+	// Mask filters the JSONL timeline (zero selects DefaultMask).
+	Mask Mask
+	// RingCap bounds each run's JSONL ring (zero selects
+	// DefaultRingCap).
+	RingCap int
+	// SampleEvery is the Metrics sampling period (zero selects
+	// DefaultSampleEvery).
+	SampleEvery float64
+
+	mu   sync.Mutex
+	runs []*runRecorders
+}
+
+// runRecorders is one seeded run's recorder set.
+type runRecorders struct {
+	jsonl   *JSONL
+	metrics *Metrics
+}
+
+// Batch is a group of consecutive run slots handed to one repeated-run
+// fan-out. A nil Batch (from a nil Collector) hands out nil recorders,
+// so call sites need no tracing-enabled checks.
+type Batch struct {
+	runs []*runRecorders
+}
+
+// Batch reserves n run slots and returns their batch. Slots are
+// appended in call order, which defines the merged output's run
+// numbering.
+func (c *Collector) Batch(n int) *Batch {
+	if c == nil || n <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := &Batch{runs: make([]*runRecorders, n)}
+	for i := range b.runs {
+		rr := &runRecorders{}
+		if c.WantEvents {
+			mask := c.Mask
+			if mask == 0 {
+				mask = DefaultMask
+			}
+			rr.jsonl = NewJSONL(mask, c.RingCap)
+		}
+		if c.WantMetrics {
+			rr.metrics = NewMetrics(c.SampleEvery)
+		}
+		b.runs[i] = rr
+		c.runs = append(c.runs, rr)
+	}
+	return b
+}
+
+// Recorder returns run slot i's recorder (nil when the batch is nil or
+// nothing is enabled). Distinct slots are independent, so workers may
+// call this concurrently.
+func (b *Batch) Recorder(i int) Recorder {
+	if b == nil {
+		return nil
+	}
+	rr := b.runs[i]
+	switch {
+	case rr.jsonl != nil && rr.metrics != nil:
+		return Multi{rr.jsonl, rr.metrics}
+	case rr.jsonl != nil:
+		return rr.jsonl
+	case rr.metrics != nil:
+		return rr.metrics
+	default:
+		return nil
+	}
+}
+
+// Runs returns how many run slots have been reserved.
+func (c *Collector) Runs() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.runs)
+}
+
+// WriteJSONL writes every run's retained timeline in run-index order,
+// each line tagged with its run number.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, rr := range c.runs {
+		if rr.jsonl == nil {
+			continue
+		}
+		if _, err := rr.jsonl.writeRun(w, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetrics writes every run's metrics in run-index order, one JSON
+// object per line tagged with its run number.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, rr := range c.runs {
+		if rr.metrics == nil {
+			continue
+		}
+		if _, err := rr.metrics.writeRun(w, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// DefaultRingCap bounds JSONL recorder memory: the newest events are
+// kept, the oldest overwritten. Decision-level timelines (DefaultMask)
+// of whole experiment runs fit with a wide margin.
+const DefaultRingCap = 1 << 16
+
+// JSONL is a ring-buffered event recorder exported as JSON Lines, one
+// event per line in record order. Recording overwrites the oldest
+// retained event once the ring is full, so memory stays bounded no
+// matter how long the run; Dropped reports how many were lost.
+type JSONL struct {
+	mask    Mask
+	buf     []Event
+	head    int // index of the oldest retained event
+	n       int // retained count
+	dropped uint64
+}
+
+// NewJSONL returns a recorder retaining the masked kinds in a ring of
+// the given capacity. A non-positive capacity selects DefaultRingCap.
+func NewJSONL(mask Mask, capacity int) *JSONL {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &JSONL{mask: mask, buf: make([]Event, 0, capacity)}
+}
+
+// Record retains the event if its kind is in the recorder's mask.
+func (j *JSONL) Record(ev Event) {
+	if !j.mask.Has(ev.Kind) {
+		return
+	}
+	if j.n < cap(j.buf) {
+		j.buf = append(j.buf, ev)
+		j.n++
+		return
+	}
+	// Ring full: overwrite the oldest.
+	j.buf[j.head] = ev
+	j.head = (j.head + 1) % cap(j.buf)
+	j.dropped++
+}
+
+// Len returns the number of retained events.
+func (j *JSONL) Len() int { return j.n }
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (j *JSONL) Dropped() uint64 { return j.dropped }
+
+// Events returns the retained events oldest-first.
+func (j *JSONL) Events() []Event {
+	out := make([]Event, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(j.head+i)%cap(j.buf)])
+	}
+	return out
+}
+
+// WriteTo writes the retained events as JSONL with run index -1 (no
+// run tag). Use Collector for tagged multi-run output.
+func (j *JSONL) WriteTo(w io.Writer) (int64, error) {
+	return j.writeRun(w, -1)
+}
+
+// writeRun writes the retained events, tagging each line with the given
+// run index when it is non-negative.
+func (j *JSONL) writeRun(w io.Writer, run int) (int64, error) {
+	var total int64
+	buf := make([]byte, 0, 160)
+	for i := 0; i < j.n; i++ {
+		ev := j.buf[(j.head+i)%cap(j.buf)]
+		buf = appendEventJSON(buf[:0], ev, run)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// appendEventJSON renders one event as a JSON line. Rendering is manual
+// — field order fixed, floats via strconv with the shortest round-trip
+// form — so output is deterministic byte-for-byte across runs and
+// worker counts.
+func appendEventJSON(b []byte, ev Event, run int) []byte {
+	b = append(b, '{')
+	if run >= 0 {
+		b = append(b, `"run":`...)
+		b = strconv.AppendInt(b, int64(run), 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"t":`...)
+	b = appendFloat(b, ev.T)
+	b = append(b, `,"kind":"`...)
+	b = append(b, ev.Kind.String()...)
+	b = append(b, '"')
+	if ev.Subflow != "" {
+		b = appendStrField(b, "subflow", ev.Subflow)
+	}
+	if ev.Iface != "" {
+		b = appendStrField(b, "iface", ev.Iface)
+	}
+	if ev.From != "" {
+		b = appendStrField(b, "from", ev.From)
+	}
+	if ev.To != "" {
+		b = appendStrField(b, "to", ev.To)
+	}
+	switch ev.Kind {
+	case KindSchedule:
+		b = appendNumField(b, "at", ev.A)
+	case KindCwnd, KindLoss:
+		b = appendNumField(b, "cwnd", ev.A)
+		b = appendNumField(b, "ssthresh", ev.B)
+	case KindSubflow:
+		b = appendNumField(b, "delay", ev.A)
+	case KindMPPrio:
+		b = appendNumField(b, "backup", ev.A)
+	case KindDeliver:
+		b = appendNumField(b, "bytes", ev.A)
+	case KindRadio:
+		b = appendNumField(b, "dwell", ev.A)
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+func appendStrField(b []byte, key, val string) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	b = strconv.AppendQuote(b, val)
+	return b
+}
+
+func appendNumField(b []byte, key string, v float64) []byte {
+	b = append(b, ',', '"')
+	b = append(b, key...)
+	b = append(b, `":`...)
+	return appendFloat(b, v)
+}
+
+// appendFloat renders a float deterministically. JSON has no NaN/Inf;
+// encode them as strings so lines stay parseable.
+func appendFloat(b []byte, v float64) []byte {
+	if v != v {
+		return append(b, `"NaN"`...)
+	}
+	if v > 1.7976931348623157e308 {
+		return append(b, `"+Inf"`...)
+	}
+	if v < -1.7976931348623157e308 {
+		return append(b, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// String renders the retained events, for debugging and tests.
+func (j *JSONL) String() string {
+	var sb writerBuilder
+	if _, err := j.WriteTo(&sb); err != nil {
+		return fmt.Sprintf("trace: %v", err)
+	}
+	return string(sb)
+}
+
+// writerBuilder is a minimal io.Writer over a byte slice.
+type writerBuilder []byte
+
+func (w *writerBuilder) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

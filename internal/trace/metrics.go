@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// DefaultSampleEvery is the Metrics recorder's time-series grid period.
+const DefaultSampleEvery = 1.0
+
+// Metrics is an aggregating recorder: per-kind event counters, per-
+// subflow transfer totals with sampled time series (cumulative bytes and
+// congestion window on a regular grid driven by a sim.Ticker), and
+// per-radio state dwell accounting. It trades per-event detail for a
+// compact run summary, complementary to the JSONL timeline.
+//
+// Subflows are keyed by ID; a run with several connections reusing the
+// same IDs (an upload and a download connection both naming their paths
+// "wifi"/"lte") aggregates them under one key.
+type Metrics struct {
+	every    float64
+	counts   [NumKinds]uint64
+	subflows map[string]*SubflowMetrics
+	radios   map[string]*RadioMetrics
+}
+
+// SubflowMetrics aggregates one subflow ID's activity.
+type SubflowMetrics struct {
+	// Bytes is the cumulative bytes delivered.
+	Bytes float64
+	// Rounds counts window updates (transmission rounds).
+	Rounds uint64
+	// Losses counts loss events.
+	Losses uint64
+	// Cwnd is the last observed congestion window in segments.
+	Cwnd float64
+	// BytesSeries and CwndSeries sample the two gauges on the grid.
+	BytesSeries stats.TimeSeries
+	CwndSeries  stats.TimeSeries
+}
+
+// RadioMetrics aggregates one interface's RRC activity.
+type RadioMetrics struct {
+	// Transitions counts state changes.
+	Transitions uint64
+	// Dwell accumulates seconds spent per exited state name. Time in
+	// the state the radio occupies when the run ends is not included.
+	Dwell map[string]float64
+}
+
+// NewMetrics returns an empty metrics recorder sampling its time series
+// every `every` seconds (non-positive selects DefaultSampleEvery).
+func NewMetrics(every float64) *Metrics {
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	return &Metrics{
+		every:    every,
+		subflows: map[string]*SubflowMetrics{},
+		radios:   map[string]*RadioMetrics{},
+	}
+}
+
+// Record aggregates one event.
+func (m *Metrics) Record(ev Event) {
+	if int(ev.Kind) < NumKinds {
+		m.counts[ev.Kind]++
+	}
+	switch ev.Kind {
+	case KindCwnd:
+		sf := m.subflow(ev.Subflow)
+		sf.Rounds++
+		sf.Cwnd = ev.A
+	case KindLoss:
+		sf := m.subflow(ev.Subflow)
+		sf.Losses++
+		sf.Cwnd = ev.A
+	case KindDeliver:
+		m.subflow(ev.Subflow).Bytes += ev.A
+	case KindRadio:
+		r := m.radios[ev.Iface]
+		if r == nil {
+			r = &RadioMetrics{Dwell: map[string]float64{}}
+			m.radios[ev.Iface] = r
+		}
+		r.Transitions++
+		r.Dwell[ev.From] += ev.A
+	}
+}
+
+func (m *Metrics) subflow(id string) *SubflowMetrics {
+	sf := m.subflows[id]
+	if sf == nil {
+		sf = &SubflowMetrics{}
+		m.subflows[id] = sf
+	}
+	return sf
+}
+
+// Count returns the number of recorded events of the given kind.
+func (m *Metrics) Count(k Kind) uint64 {
+	if int(k) >= NumKinds {
+		return 0
+	}
+	return m.counts[k]
+}
+
+// Subflow returns the metrics for a subflow ID, or nil.
+func (m *Metrics) Subflow(id string) *SubflowMetrics { return m.subflows[id] }
+
+// Radio returns the metrics for an interface name, or nil.
+func (m *Metrics) Radio(iface string) *RadioMetrics { return m.radios[iface] }
+
+// SampleEvery implements Sampler.
+func (m *Metrics) SampleEvery() float64 { return m.every }
+
+// Sample implements Sampler: append one grid point per subflow gauge.
+func (m *Metrics) Sample(t float64) {
+	for _, sf := range m.subflows {
+		sf.BytesSeries.Add(t, sf.Bytes)
+		sf.CwndSeries.Add(t, sf.Cwnd)
+	}
+}
+
+// WriteTo writes the metrics as one JSON object (plus newline) with no
+// run tag. Use Collector for tagged multi-run output.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	return m.writeRun(w, -1)
+}
+
+// writeRun renders the metrics deterministically: fixed field order,
+// sorted map keys, shortest round-trip floats.
+func (m *Metrics) writeRun(w io.Writer, run int) (int64, error) {
+	b := make([]byte, 0, 1024)
+	b = append(b, '{')
+	if run >= 0 {
+		b = append(b, `"run":`...)
+		b = strconv.AppendInt(b, int64(run), 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"counters":{`...)
+	first := true
+	for k := 0; k < NumKinds; k++ {
+		if m.counts[k] == 0 {
+			continue
+		}
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, '"')
+		b = append(b, Kind(k).String()...)
+		b = append(b, `":`...)
+		b = strconv.AppendUint(b, m.counts[k], 10)
+	}
+	b = append(b, `},"subflows":{`...)
+	for i, id := range sortedKeys(m.subflows) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		sf := m.subflows[id]
+		b = strconv.AppendQuote(b, id)
+		b = append(b, `:{"bytes":`...)
+		b = appendFloat(b, sf.Bytes)
+		b = append(b, `,"rounds":`...)
+		b = strconv.AppendUint(b, sf.Rounds, 10)
+		b = append(b, `,"losses":`...)
+		b = strconv.AppendUint(b, sf.Losses, 10)
+		b = append(b, `,"series":{"t":`...)
+		b = appendFloats(b, sf.BytesSeries.T)
+		b = append(b, `,"bytes":`...)
+		b = appendFloats(b, sf.BytesSeries.V)
+		b = append(b, `,"cwnd":`...)
+		b = appendFloats(b, sf.CwndSeries.V)
+		b = append(b, `}}`...)
+	}
+	b = append(b, `},"radios":{`...)
+	for i, iface := range sortedKeys(m.radios) {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		r := m.radios[iface]
+		b = strconv.AppendQuote(b, iface)
+		b = append(b, `:{"transitions":`...)
+		b = strconv.AppendUint(b, r.Transitions, 10)
+		b = append(b, `,"dwell":{`...)
+		for j, st := range sortedKeys(r.Dwell) {
+			if j > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendQuote(b, st)
+			b = append(b, ':')
+			b = appendFloat(b, r.Dwell[st])
+		}
+		b = append(b, `}}`...)
+	}
+	b = append(b, '}', '}', '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+func appendFloats(b []byte, xs []float64) []byte {
+	b = append(b, '[')
+	for i, x := range xs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendFloat(b, x)
+	}
+	return append(b, ']')
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,202 @@
+// Package trace is the simulator's structured observability layer: typed
+// events emitted by the simulation kernel, the transport models, and the
+// energy model, consumed by pluggable recorders.
+//
+// The paper's evaluation hinges on *which subflow carried which bytes
+// when* and what radio power state each interface was in (Figures 8–14);
+// this package makes those timelines inspectable without ad-hoc prints,
+// the way ns-3's MPTCP models lean on per-flow tracing.
+//
+// # Overhead contract
+//
+// Tracing must cost nothing when disabled. Every emission site is guarded
+// by a single nil check on a Recorder value (`if rec != nil`), and Event
+// is a flat value struct of scalars and static strings, so constructing
+// and passing one performs no heap allocation. The kernel hot path keeps
+// its 0 allocs/op (BenchmarkSimKernel guards this); emitters must never
+// build an Event with fmt.Sprintf, string concatenation, or any other
+// allocating expression.
+//
+// # Event taxonomy
+//
+// Kernel (internal/sim): KindSchedule, KindFire, KindCancel — queue
+// traffic counters.
+//
+// Transport (internal/tcp): KindTCPState (lifecycle transitions),
+// KindCwnd (per-round cwnd/ssthresh), KindLoss (halvings and timeouts).
+//
+// Multipath (internal/mptcp): KindSubflow (subflow creation),
+// KindMPPrio (backup flag changes), KindSchedPick (min-RTT scheduler
+// deferrals), KindDeliver (per-subflow deliveries).
+//
+// Energy (internal/energy): KindRadio (RRC power-state transitions with
+// the exited state's dwell time).
+//
+// Controller (internal/core): KindPathSet (eMPTCP path-usage decisions).
+package trace
+
+// Kind identifies an event type.
+type Kind uint8
+
+// The event taxonomy. Values are stable identifiers used by the Metrics
+// counters; names (Kind.String) are the JSONL "kind" field.
+const (
+	// KindSchedule is one sim.Engine.Schedule call (A = fire time).
+	KindSchedule Kind = iota
+	// KindFire is one event callback firing.
+	KindFire
+	// KindCancel is one effective Event.Cancel (a live event killed).
+	KindCancel
+	// KindTCPState is a subflow lifecycle transition (To = new state).
+	KindTCPState
+	// KindCwnd is a subflow's post-round window update (A = cwnd,
+	// B = ssthresh, in segments).
+	KindCwnd
+	// KindLoss is a subflow loss event (To = "halve" or "timeout",
+	// A = cwnd, B = ssthresh after the reaction).
+	KindLoss
+	// KindSubflow is an MPTCP subflow being added (A = extra
+	// establishment delay in seconds).
+	KindSubflow
+	// KindMPPrio is an MP_PRIO backup flag change (A = 1 set, 0 cleared).
+	KindMPPrio
+	// KindSchedPick is a scheduler decision to defer scarce data from
+	// the requesting subflow (Subflow) to a faster peer (To).
+	KindSchedPick
+	// KindDeliver is bytes delivered over one subflow (A = bytes).
+	KindDeliver
+	// KindRadio is a radio RRC state transition (From/To = state names,
+	// A = seconds dwelt in the exited state).
+	KindRadio
+	// KindPathSet is an eMPTCP path-usage decision (To = path set name).
+	KindPathSet
+
+	numKinds
+)
+
+// NumKinds is the number of event kinds, for counter arrays.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	KindSchedule:  "schedule",
+	KindFire:      "fire",
+	KindCancel:    "cancel",
+	KindTCPState:  "tcp_state",
+	KindCwnd:      "cwnd",
+	KindLoss:      "loss",
+	KindSubflow:   "subflow_add",
+	KindMPPrio:    "mp_prio",
+	KindSchedPick: "sched_pick",
+	KindDeliver:   "deliver",
+	KindRadio:     "radio_state",
+	KindPathSet:   "path_set",
+}
+
+// String returns the kind's JSONL name.
+func (k Kind) String() string {
+	if int(k) < NumKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one trace record. It is a flat value: all fields are scalars
+// or references to static strings, so emitting one allocates nothing.
+// Field meaning is kind-specific (see the Kind constants); unused fields
+// are zero.
+type Event struct {
+	// T is the simulated time of the event in seconds.
+	T float64
+	// Kind is the event type.
+	Kind Kind
+	// Subflow is the subflow ID ("wifi", "lte"), when applicable.
+	Subflow string
+	// Iface is the interface name ("WiFi", "LTE"), when applicable.
+	Iface string
+	// From and To are kind-specific state labels.
+	From string
+	To   string
+	// A and B are kind-specific numeric payloads.
+	A float64
+	B float64
+}
+
+// Recorder receives events. Implementations must be cheap per call —
+// they run inside the simulation's hot loops — and need not be
+// goroutine-safe: one recorder is attached to exactly one engine, and an
+// engine is never shared between goroutines.
+//
+// A nil Recorder means tracing is disabled; emitters guard every Record
+// call with a nil check so the disabled path is a single branch.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// Mask selects a subset of event kinds.
+type Mask uint32
+
+// Has reports whether the mask includes kind k.
+func (m Mask) Has(k Kind) bool { return m&(1<<uint(k)) != 0 }
+
+// With returns the mask with kind k added.
+func (m Mask) With(k Kind) Mask { return m | 1<<uint(k) }
+
+// AllKinds selects every event kind.
+const AllKinds Mask = 1<<uint(numKinds) - 1
+
+// KernelKinds selects the high-volume kernel queue events.
+const KernelKinds Mask = 1<<uint(KindSchedule) | 1<<uint(KindFire) | 1<<uint(KindCancel)
+
+// DefaultMask selects the decision-level timeline the paper's figures
+// need — subflow lifecycle, MP_PRIO, scheduler picks, radio state
+// transitions, and path-set decisions — and excludes the high-volume
+// per-round and kernel events (those still feed Metrics counters).
+const DefaultMask Mask = 1<<uint(KindTCPState) |
+	1<<uint(KindSubflow) |
+	1<<uint(KindMPPrio) |
+	1<<uint(KindSchedPick) |
+	1<<uint(KindRadio) |
+	1<<uint(KindPathSet)
+
+// Multi fans events out to several recorders.
+type Multi []Recorder
+
+// Record forwards the event to every child recorder.
+func (m Multi) Record(ev Event) {
+	for _, r := range m {
+		r.Record(ev)
+	}
+}
+
+// Sampler is implemented by recorders that want periodic samples of
+// simulated time (the Metrics recorder's time-series grid). The wiring
+// layer attaches a sim.Ticker calling Sample every SampleEvery seconds.
+type Sampler interface {
+	// SampleEvery returns the sampling period in seconds.
+	SampleEvery() float64
+	// Sample records one grid point at simulated time t.
+	Sample(t float64)
+}
+
+// Sample forwards the grid point to every child that samples.
+func (m Multi) Sample(t float64) {
+	for _, r := range m {
+		if s, ok := r.(Sampler); ok {
+			s.Sample(t)
+		}
+	}
+}
+
+// SampleEvery returns the smallest child sampling period, or 0 when no
+// child samples.
+func (m Multi) SampleEvery() float64 {
+	every := 0.0
+	for _, r := range m {
+		if s, ok := r.(Sampler); ok {
+			if e := s.SampleEvery(); e > 0 && (every == 0 || e < every) {
+				every = e
+			}
+		}
+	}
+	return every
+}

@@ -1,0 +1,225 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMask(t *testing.T) {
+	if !DefaultMask.Has(KindMPPrio) || !DefaultMask.Has(KindRadio) || !DefaultMask.Has(KindSubflow) {
+		t.Error("DefaultMask must include the decision-level kinds")
+	}
+	if DefaultMask.Has(KindSchedule) || DefaultMask.Has(KindCwnd) || DefaultMask.Has(KindDeliver) {
+		t.Error("DefaultMask must exclude high-volume kinds")
+	}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if !AllKinds.Has(k) {
+			t.Errorf("AllKinds missing %v", k)
+		}
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	var m Mask
+	if m.With(KindLoss).Has(KindLoss) != true {
+		t.Error("With should add the kind")
+	}
+}
+
+func TestJSONLRendering(t *testing.T) {
+	j := NewJSONL(AllKinds, 16)
+	j.Record(Event{T: 0.5, Kind: KindSubflow, Subflow: "lte", Iface: "LTE", A: 0.26})
+	j.Record(Event{T: 1.25, Kind: KindRadio, Iface: "LTE", From: "IDLE", To: "PROMOTION", A: 0})
+	j.Record(Event{T: 2, Kind: KindMPPrio, Subflow: "lte", Iface: "LTE", A: 1})
+	got := j.String()
+	want := `{"t":0.5,"kind":"subflow_add","subflow":"lte","iface":"LTE","delay":0.26}
+{"t":1.25,"kind":"radio_state","iface":"LTE","from":"IDLE","to":"PROMOTION","dwell":0}
+{"t":2,"kind":"mp_prio","subflow":"lte","iface":"LTE","backup":1}
+`
+	if got != want {
+		t.Errorf("JSONL rendering mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestJSONLMaskFilters(t *testing.T) {
+	j := NewJSONL(DefaultMask, 16)
+	j.Record(Event{Kind: KindSchedule, A: 1})
+	j.Record(Event{Kind: KindCwnd, Subflow: "wifi", A: 20, B: 64})
+	j.Record(Event{Kind: KindMPPrio, Subflow: "lte", A: 1})
+	if j.Len() != 1 {
+		t.Fatalf("retained %d events, want 1 (masked)", j.Len())
+	}
+	if evs := j.Events(); evs[0].Kind != KindMPPrio {
+		t.Errorf("retained kind = %v, want mp_prio", evs[0].Kind)
+	}
+}
+
+func TestJSONLRingWraparound(t *testing.T) {
+	j := NewJSONL(AllKinds, 4)
+	for i := 0; i < 10; i++ {
+		j.Record(Event{T: float64(i), Kind: KindFire})
+	}
+	if j.Len() != 4 {
+		t.Fatalf("retained %d, want 4", j.Len())
+	}
+	if j.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", j.Dropped())
+	}
+	evs := j.Events()
+	for i, ev := range evs {
+		if want := float64(6 + i); ev.T != want {
+			t.Errorf("event %d time = %v, want %v (newest retained, oldest-first order)", i, ev.T, want)
+		}
+	}
+}
+
+func TestJSONLRecordNoAllocSteadyState(t *testing.T) {
+	j := NewJSONL(AllKinds, 1024)
+	ev := Event{T: 1, Kind: KindCwnd, Subflow: "wifi", A: 10, B: 64}
+	allocs := testing.AllocsPerRun(500, func() { j.Record(ev) })
+	if allocs != 0 {
+		t.Errorf("JSONL.Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestMetricsAggregation(t *testing.T) {
+	m := NewMetrics(1)
+	m.Record(Event{T: 1, Kind: KindCwnd, Subflow: "wifi", A: 20, B: 64})
+	m.Record(Event{T: 1, Kind: KindDeliver, Subflow: "wifi", Iface: "WiFi", A: 14600})
+	m.Record(Event{T: 2, Kind: KindLoss, Subflow: "wifi", A: 10, B: 10})
+	m.Record(Event{T: 3, Kind: KindRadio, Iface: "LTE", From: "PROMOTION", To: "ACTIVE", A: 0.26})
+	m.Record(Event{T: 9, Kind: KindRadio, Iface: "LTE", From: "ACTIVE", To: "TAIL", A: 5.5})
+	m.Sample(1)
+	m.Record(Event{T: 1.5, Kind: KindDeliver, Subflow: "wifi", A: 14600})
+	m.Sample(2)
+
+	sf := m.Subflow("wifi")
+	if sf == nil {
+		t.Fatal("no wifi subflow metrics")
+	}
+	if sf.Rounds != 1 || sf.Losses != 1 || sf.Bytes != 29200 {
+		t.Errorf("subflow metrics = rounds %d losses %d bytes %v", sf.Rounds, sf.Losses, sf.Bytes)
+	}
+	if got := sf.BytesSeries.V; len(got) != 2 || got[0] != 14600 || got[1] != 29200 {
+		t.Errorf("bytes series = %v, want [14600 29200]", got)
+	}
+	r := m.Radio("LTE")
+	if r == nil || r.Transitions != 2 {
+		t.Fatalf("radio metrics = %+v", r)
+	}
+	if r.Dwell["ACTIVE"] != 5.5 || r.Dwell["PROMOTION"] != 0.26 {
+		t.Errorf("dwell = %v", r.Dwell)
+	}
+	if m.Count(KindRadio) != 2 || m.Count(KindDeliver) != 2 {
+		t.Errorf("counters = radio %d deliver %d", m.Count(KindRadio), m.Count(KindDeliver))
+	}
+
+	var sb writerBuilder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := string(sb)
+	for _, want := range []string{`"counters":{`, `"cwnd":1`, `"wifi":{"bytes":29200`, `"LTE":{"transitions":2`, `"ACTIVE":5.5`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMultiFanout(t *testing.T) {
+	j := NewJSONL(AllKinds, 8)
+	m := NewMetrics(2.5)
+	multi := Multi{j, m}
+	multi.Record(Event{T: 1, Kind: KindFire})
+	if j.Len() != 1 || m.Count(KindFire) != 1 {
+		t.Error("Multi did not fan out Record")
+	}
+	if multi.SampleEvery() != 2.5 {
+		t.Errorf("SampleEvery = %v, want the metrics child's 2.5", multi.SampleEvery())
+	}
+	multi.Record(Event{T: 1, Kind: KindDeliver, Subflow: "wifi", A: 100})
+	multi.Sample(3)
+	if m.Subflow("wifi").BytesSeries.Len() != 1 {
+		t.Error("Multi.Sample did not reach the metrics child")
+	}
+}
+
+func TestCollectorMergeOrder(t *testing.T) {
+	c := &Collector{WantEvents: true, WantMetrics: true, Mask: AllKinds}
+	b1 := c.Batch(2)
+	b2 := c.Batch(1)
+	// Record out of order, as parallel workers would.
+	b2.Recorder(0).Record(Event{T: 30, Kind: KindFire})
+	b1.Recorder(1).Record(Event{T: 20, Kind: KindFire})
+	b1.Recorder(0).Record(Event{T: 10, Kind: KindFire})
+	if c.Runs() != 3 {
+		t.Fatalf("runs = %d, want 3", c.Runs())
+	}
+	var sb writerBuilder
+	if err := c.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"run":0,"t":10,"kind":"fire"}
+{"run":1,"t":20,"kind":"fire"}
+{"run":2,"t":30,"kind":"fire"}
+`
+	if string(sb) != want {
+		t.Errorf("merged JSONL:\n%s\nwant:\n%s", sb, want)
+	}
+	var mb writerBuilder
+	if err := c.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(mb)), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], `{"run":0,`) || !strings.HasPrefix(lines[2], `{"run":2,`) {
+		t.Errorf("merged metrics lines:\n%s", mb)
+	}
+}
+
+func TestNilCollectorAndBatch(t *testing.T) {
+	var c *Collector
+	b := c.Batch(4)
+	if b != nil {
+		t.Error("nil collector should return nil batch")
+	}
+	if r := b.Recorder(0); r != nil {
+		t.Error("nil batch should hand out nil recorders")
+	}
+	if c.Runs() != 0 {
+		t.Error("nil collector has no runs")
+	}
+}
+
+func TestCollectorEventsOnly(t *testing.T) {
+	c := &Collector{WantEvents: true}
+	b := c.Batch(1)
+	r := b.Recorder(0)
+	if _, ok := r.(*JSONL); !ok {
+		t.Fatalf("events-only recorder = %T, want *JSONL", r)
+	}
+	r.Record(Event{T: 1, Kind: KindMPPrio, Subflow: "lte", A: 1})
+	var sb writerBuilder
+	if err := c.WriteMetrics(&sb); err != nil || len(sb) != 0 {
+		t.Errorf("metrics output should be empty, got %q (%v)", sb, err)
+	}
+}
+
+func TestAppendFloatSpecials(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0.1, "0.1"},
+		{250, "250"},
+		{1e-9, "1e-09"},
+		{math.NaN(), `"NaN"`},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+	}
+	for _, c := range cases {
+		if got := string(appendFloat(nil, c.v)); got != c.want {
+			t.Errorf("appendFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
