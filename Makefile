@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench bench-json experiments traces trace-demo fmt vet cover clean
+.PHONY: all build test short bench bench-json bench-compare profile experiments traces trace-demo fmt vet cover clean
 
 all: build test
 
@@ -22,6 +22,17 @@ bench:
 # Machine-readable benchmark snapshot (ns/op, B/op, allocs/op per bench).
 bench-json:
 	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson > BENCH.json
+
+# Compare a fresh benchmark run against the committed BENCH.json; fails
+# when any benchmark's ns/op regresses by more than 20%.
+bench-compare:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson -baseline BENCH.json
+
+# CPU and allocation profiles of the full experiment suite, for
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/emptcpsim -cpuprofile cpu.pprof -memprofile mem.pprof all > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 # Regenerate every paper table/figure (the EXPERIMENTS.md inputs).
 experiments:
@@ -46,4 +57,4 @@ cover:
 	$(GO) test -cover ./...
 
 clean:
-	rm -f mobility.tsv random.tsv fig8-trace.jsonl fig8-metrics.json test_output.txt bench_output.txt
+	rm -f mobility.tsv random.tsv fig8-trace.jsonl fig8-metrics.json test_output.txt bench_output.txt cpu.pprof mem.pprof

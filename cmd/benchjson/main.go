@@ -6,11 +6,20 @@
 // Each entry maps the benchmark name (GOMAXPROCS suffix stripped) to its
 // ns/op, B/op and allocs/op. Benchmarks that appear more than once (e.g.
 // from -count) keep the last measurement.
+//
+// With -baseline FILE, benchjson instead compares stdin against a
+// previously recorded BENCH.json: it prints a per-benchmark delta table
+// (ns/op and allocs/op) and exits non-zero when any benchmark's ns/op
+// regressed by more than 20%. Benchmarks present on only one side are
+// listed but never fail the comparison:
+//
+//	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -27,10 +36,16 @@ type Result struct {
 }
 
 func main() {
-	os.Exit(run(os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(stdin io.Reader, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", "", "compare stdin against this BENCH.json instead of emitting JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	results, err := parse(stdin)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchjson:", err)
@@ -39,6 +54,9 @@ func run(stdin io.Reader, stdout, stderr io.Writer) int {
 	if len(results) == 0 {
 		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin")
 		return 1
+	}
+	if *baseline != "" {
+		return compare(*baseline, results, stdout, stderr)
 	}
 	// Sorted keys so the file diffs cleanly across regenerations.
 	keys := make([]string, 0, len(results))
@@ -101,4 +119,67 @@ func parse(r io.Reader) (map[string]Result, error) {
 		}
 	}
 	return out, sc.Err()
+}
+
+// regressionLimit is the ns/op growth beyond which compare fails.
+const regressionLimit = 0.20
+
+// compare renders a delta table of results against the baseline file and
+// reports failure when any shared benchmark's ns/op regressed beyond the
+// limit. New and vanished benchmarks are informational only.
+func compare(path string, results map[string]Result, stdout, stderr io.Writer) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchjson:", err)
+		return 1
+	}
+	base := map[string]Result{}
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchjson: parsing %s: %v\n", path, err)
+		return 1
+	}
+
+	names := make([]string, 0, len(results)+len(base))
+	for k := range results {
+		names = append(names, k)
+	}
+	for k := range base {
+		if _, ok := results[k]; !ok {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+
+	w := len("benchmark")
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	fmt.Fprintf(stdout, "%-*s  %12s  %12s  %8s  %s\n", w, "benchmark", "base ns/op", "new ns/op", "Δns/op", "allocs")
+	failed := false
+	for _, n := range names {
+		b, inBase := base[n]
+		r, inNew := results[n]
+		switch {
+		case !inBase:
+			fmt.Fprintf(stdout, "%-*s  %12s  %12.1f  %8s  %d (new)\n", w, n, "-", r.NsPerOp, "-", r.AllocsPerOp)
+		case !inNew:
+			fmt.Fprintf(stdout, "%-*s  %12.1f  %12s  %8s  (vanished)\n", w, n, b.NsPerOp, "-", "-")
+		default:
+			delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+			mark := ""
+			if delta > regressionLimit {
+				mark = "  REGRESSED"
+				failed = true
+			}
+			fmt.Fprintf(stdout, "%-*s  %12.1f  %12.1f  %+7.1f%%  %d -> %d%s\n",
+				w, n, b.NsPerOp, r.NsPerOp, delta*100, b.AllocsPerOp, r.AllocsPerOp, mark)
+		}
+	}
+	if failed {
+		fmt.Fprintf(stderr, "benchjson: ns/op regression beyond %.0f%% against %s\n", regressionLimit*100, path)
+		return 1
+	}
+	return 0
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -37,7 +39,7 @@ func TestParse(t *testing.T) {
 
 func TestRunEmitsValidSortedJSON(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(strings.NewReader(sample), &out, &errb); code != 0 {
+	if code := run(nil, strings.NewReader(sample), &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	var m map[string]Result
@@ -55,10 +57,66 @@ func TestRunEmitsValidSortedJSON(t *testing.T) {
 
 func TestRunNoInput(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(strings.NewReader("PASS\n"), &out, &errb); code != 1 {
+	if code := run(nil, strings.NewReader("PASS\n"), &out, &errb); code != 1 {
 		t.Errorf("exit %d, want 1", code)
 	}
 	if !strings.Contains(errb.String(), "no benchmark") {
 		t.Error("missing diagnostic")
+	}
+}
+
+// writeBaseline records sample-style results as a BENCH.json fixture.
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinLimit(t *testing.T) {
+	base := writeBaseline(t, `{
+  "BenchmarkHeapChurn": {"ns_per_op": 60, "bytes_per_op": 0, "allocs_per_op": 2},
+  "BenchmarkSimKernel": {"ns_per_op": 40, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkVanished": {"ns_per_op": 10, "bytes_per_op": 0, "allocs_per_op": 0}
+}`)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
+	}
+	// 42.84 vs 40 is +7.1%, under the limit; NoMem is new, Vanished gone.
+	for _, want := range []string{"+7.1%", "(new)", "(vanished)", "2 -> 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("unexpected regression mark:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, `{
+  "BenchmarkSimKernel": {"ns_per_op": 30, "bytes_per_op": 0, "allocs_per_op": 0}
+}`)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base}, strings.NewReader(sample), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s", code, out.String())
+	}
+	// 42.84 vs 30 is +42.8%, beyond the 20% limit.
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("missing REGRESSED mark:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "regression beyond 20%") {
+		t.Errorf("missing diagnostic: %s", errb.String())
+	}
+}
+
+func TestCompareMissingBaselineFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")},
+		strings.NewReader(sample), &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1", code)
 	}
 }

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [-j N]
-//	          [-trace FILE] [-metrics FILE] [experiment ...]
+//	          [-cache=false] [-trace FILE] [-metrics FILE]
+//	          [-cpuprofile FILE] [-memprofile FILE] [experiment ...]
 //
 // With no arguments it lists the available experiments. Pass experiment
 // ids ("fig5", "table2", ...) or "all" to run everything in paper order.
@@ -15,6 +16,12 @@
 // seeded run, merged in run order) and -metrics writes per-run aggregate
 // counters and time series; both require exactly one experiment id so the
 // run numbering is meaningful, and both are byte-identical at any -j.
+//
+// Runs are memoized in a process-wide cache shared by all requested
+// experiments, so overlapping grids (shared baselines, repeated ablation
+// arms) simulate each distinct run once; output is byte-identical with
+// -cache=false. -cpuprofile and -memprofile write pprof profiles of the
+// whole invocation for `go tool pprof`.
 package main
 
 import (
@@ -23,12 +30,14 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/energy"
 	"repro/internal/exp"
 	"repro/internal/runner"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
@@ -47,11 +56,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", runtime.NumCPU(), "worker count for parallel runs (1 = sequential)")
 	traceFile := fs.String("trace", "", "write a JSONL trace-event timeline to FILE (single experiment only)")
 	metricsFile := fs.String("metrics", "", "write per-run JSON metrics to FILE (single experiment only)")
+	useCache := fs.Bool("cache", true, "memoize identical runs across experiments")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to FILE on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}()
+	}
+
 	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode, Jobs: *jobs}
+	if *useCache {
+		cfg.Cache = scenario.NewRunCache()
+	}
 	switch *device {
 	case "s3":
 		cfg.Device = energy.GalaxyS3()

@@ -92,6 +92,12 @@ func NewRadio(iface Interface, params RadioParams) *Radio {
 	return &Radio{Iface: iface, Params: params, quality: 1}
 }
 
+// Reset returns the radio to the state NewRadio builds for the given
+// parameters, reusing the allocation (per-run state pooling).
+func (r *Radio) Reset(iface Interface, params RadioParams) {
+	*r = Radio{Iface: iface, Params: params, quality: 1}
+}
+
 // SetQuality records the link quality (capacity / nominal rate, clamped to
 // [0,1]) used by the optional weak-signal power model. It has no effect
 // unless the radio's parameters enable that model.
@@ -326,6 +332,20 @@ func NewAccountant(p *DeviceProfile) *Accountant {
 		a.radios[i] = NewRadio(Interface(i), p.Radios[i])
 	}
 	return a
+}
+
+// Reset returns the accountant to the state NewAccountant builds for the
+// given device, reusing the radio allocations (per-run state pooling).
+func (a *Accountant) Reset(p *DeviceProfile) {
+	a.Profile = p
+	a.now = 0
+	a.base = 0
+	a.baseOn = false
+	a.extraBase = 0
+	a.Trace = nil
+	for i := 0; i < NumInterfaces; i++ {
+		a.radios[i].Reset(Interface(i), p.Radios[i])
+	}
 }
 
 // Radio returns the state machine for the given interface.

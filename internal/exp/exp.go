@@ -38,6 +38,11 @@ type Config struct {
 	// trace files are byte-identical at any Jobs setting. Use it with a
 	// single experiment so the run numbering stays meaningful.
 	Trace *trace.Collector
+	// Cache, when non-nil, memoizes scenario runs across experiments:
+	// overlapping grids (shared baselines, repeated ablation arms)
+	// simulate each distinct (scenario, protocol, seed, options) run
+	// once. Tables are byte-identical with the cache on or off.
+	Cache *scenario.RunCache
 }
 
 func (c Config) device() *energy.DeviceProfile {
@@ -82,13 +87,14 @@ func (c Config) pool() *runner.Pool { return runner.New(c.Jobs) }
 // every table regenerates bit-identically.
 //
 // Each index receives a base scenario.Opts carrying its run's trace
-// recorder (nil when tracing is off); mk fills in the seed and any other
-// per-run options. Batches are reserved before the fan-out, on the single
-// orchestration goroutine, so run numbering is deterministic too.
+// recorder (nil when tracing is off) and the configuration's run cache;
+// mk fills in the seed and any other per-run options. Batches are
+// reserved before the fan-out, on the single orchestration goroutine, so
+// run numbering is deterministic too.
 func repeatRuns[T any](cfg Config, n int, mk func(i int, opt scenario.Opts) T) []T {
 	batch := cfg.Trace.Batch(n)
 	return runner.Map(cfg.pool(), n, func(i int) T {
-		return mk(i, scenario.Opts{Recorder: batch.Recorder(i)})
+		return mk(i, scenario.Opts{Recorder: batch.Recorder(i), Cache: cfg.Cache})
 	})
 }
 

@@ -69,9 +69,10 @@ func NewConstant(rate units.BitRate) *Constant {
 // of 40 seconds. The bandwidth provided by the AP is ≤1 Mbps or ≥10 Mbps."
 type OnOffModulator struct {
 	base
-	proc *simrng.OnOff
-	high units.BitRate
-	low  units.BitRate
+	proc   *simrng.OnOff
+	high   units.BitRate
+	low    units.BitRate
+	toggle sim.Timer // pre-bound: toggling allocates nothing per transition
 }
 
 // NewOnOffModulator starts a modulator on the engine. startHigh selects
@@ -88,23 +89,26 @@ func NewOnOffModulator(eng *sim.Engine, src *simrng.Source, high, low units.BitR
 	} else {
 		m.rate = low
 	}
-	m.scheduleToggle(eng)
+	m.toggle = eng.BindTimer(m.onToggle)
+	m.scheduleToggle()
 	return m
 }
 
-func (m *OnOffModulator) scheduleToggle(eng *sim.Engine) {
+func (m *OnOffModulator) onToggle() {
+	if m.proc.On() {
+		m.set(m.high)
+	} else {
+		m.set(m.low)
+	}
+	m.scheduleToggle()
+}
+
+func (m *OnOffModulator) scheduleToggle() {
 	hold := m.proc.NextToggle()
 	if math.IsInf(hold, 1) {
 		return
 	}
-	eng.After(hold, func() {
-		if m.proc.On() {
-			m.set(m.high)
-		} else {
-			m.set(m.low)
-		}
-		m.scheduleToggle(eng)
-	})
+	m.toggle.After(hold)
 }
 
 // Interferer is one background WiFi node generating UDP traffic according
@@ -113,6 +117,7 @@ func (m *OnOffModulator) scheduleToggle(eng *sim.Engine) {
 type Interferer struct {
 	proc   *simrng.OnOff
 	active bool
+	toggle sim.Timer // pre-bound at construction; re-armed per transition
 }
 
 // ContendedWiFi models the device's WiFi link under channel contention
@@ -133,22 +138,23 @@ func NewContendedWiFi(eng *sim.Engine, src *simrng.Source, baseRate units.BitRat
 	c.rate = baseRate
 	for i := 0; i < n; i++ {
 		iv := &Interferer{proc: simrng.NewOnOffRates(src.Split(uint64(i)+1), lambdaOn, lambdaOff, false)}
+		iv.toggle = eng.BindTimer(func() {
+			iv.active = iv.proc.On()
+			c.recompute()
+			c.scheduleToggle(iv)
+		})
 		c.interferers = append(c.interferers, iv)
-		c.scheduleToggle(eng, iv)
+		c.scheduleToggle(iv)
 	}
 	return c
 }
 
-func (c *ContendedWiFi) scheduleToggle(eng *sim.Engine, iv *Interferer) {
+func (c *ContendedWiFi) scheduleToggle(iv *Interferer) {
 	hold := iv.proc.NextToggle()
 	if math.IsInf(hold, 1) {
 		return
 	}
-	eng.After(hold, func() {
-		iv.active = iv.proc.On()
-		c.recompute()
-		c.scheduleToggle(eng, iv)
-	})
+	iv.toggle.After(hold)
 }
 
 func (c *ContendedWiFi) recompute() {
@@ -227,6 +233,8 @@ func (m *MobileWiFi) OnAssociationChange(fn func(bool)) {
 // breakpoints, useful for deterministic tests and custom scenarios.
 type Trace struct {
 	base
+	pts  []Breakpoint
+	next int
 }
 
 // Breakpoint is one step of a Trace.
@@ -245,14 +253,22 @@ func NewTrace(eng *sim.Engine, points []Breakpoint) *Trace {
 		tr.rate = points[0].Rate
 		start = 1
 	}
+	// One shared advance callback walks the breakpoint slice in order.
+	// Same-time breakpoints fire FIFO (the kernel's seq tie-break follows
+	// Schedule order), so the cursor always lines up with the firing event.
+	tr.pts = points[start:]
+	advance := func() {
+		p := tr.pts[tr.next]
+		tr.next++
+		tr.set(p.Rate)
+	}
 	last := 0.0
-	for _, p := range points[start:] {
+	for _, p := range tr.pts {
 		if p.At < last {
 			panic("link: trace breakpoints must be time-ordered")
 		}
 		last = p.At
-		rate := p.Rate
-		eng.Schedule(p.At, func() { tr.set(rate) })
+		eng.Schedule(p.At, advance)
 	}
 	return tr
 }

@@ -48,6 +48,9 @@ type Options struct {
 	// RTT asymmetry (e.g. an overseas LTE path) makes severe. Zero means
 	// unlimited (the default; the paper's servers used large buffers).
 	ReceiveBuffer units.ByteSize
+	// Arena, when non-nil, allocates subflows from a recyclable arena
+	// instead of the heap (per-run state pooling; see scenario.Run).
+	Arena *tcp.Arena
 }
 
 // DefaultOptions returns the standard-MPTCP configuration.
@@ -103,7 +106,12 @@ func (c *Connection) AddSubflow(id string, iface energy.Interface, path *tcp.Pat
 	if cfg != nil {
 		conf = *cfg
 	}
-	sf := tcp.NewSubflow(id, c.eng, c.src.Split(uint64(len(c.subflows))+0x5f), path, conf, (*connSource)(c))
+	var sf *tcp.Subflow
+	if c.opts.Arena != nil {
+		sf = c.opts.Arena.NewSubflow(id, c.eng, c.src.Split(uint64(len(c.subflows))+0x5f), path, conf, (*connSource)(c))
+	} else {
+		sf = tcp.NewSubflow(id, c.eng, c.src.Split(uint64(len(c.subflows))+0x5f), path, conf, (*connSource)(c))
+	}
 	sf.Meta = subflowMeta{iface: iface}
 	c.subflows = append(c.subflows, sf)
 	if rec := c.eng.Recorder(); rec != nil {
@@ -245,8 +253,7 @@ func (cs *connSource) Request(sf *tcp.Subflow, max units.ByteSize) units.ByteSiz
 				})
 			}
 			best.Kick()
-			deferred := sf
-			c.eng.After(best.SRTT()+1e-3, deferred.Kick)
+			c.eng.After(best.SRTT()+1e-3, sf.KickFunc())
 			return 0
 		}
 	}

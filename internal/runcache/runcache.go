@@ -1,0 +1,136 @@
+// Package runcache memoizes simulation results across experiments.
+//
+// Experiment grids re-run the same (scenario, protocol, seed) triple
+// many times: section tables share baselines, ablations share the
+// untouched arm, and repeated-seed aggregation re-visits identical
+// configurations when grids overlap. The cache is a sharded,
+// single-flight, content-keyed map from a canonical digest of the run
+// inputs to the finished result, so each distinct simulation executes
+// exactly once per process no matter how many tables ask for it.
+//
+// Correctness rests on runs being pure functions of their digested
+// inputs: the scenario package only consults the cache for scenarios
+// whose construction it controls (see Scenario.cacheKey), and a cached
+// result is returned by value, never aliased.
+package runcache
+
+import "sync"
+
+// Key is a canonical content digest of one run's inputs — in practice a
+// SHA-256 of the scenario configuration, protocol, seed, and options.
+type Key [32]byte
+
+const shardCount = 16
+
+// entry is a single-flight slot. The first caller closes done after
+// publishing val; latecomers block on done. A panic in the compute
+// function is recorded and re-thrown to every waiter so a poisoned
+// entry does not hang the grid.
+type entry[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked any
+}
+
+type shard[V any] struct {
+	mu sync.Mutex
+	m  map[Key]*entry[V]
+}
+
+// Cache memoizes values of type V under content Keys. The zero value is
+// not usable; call New. A nil *Cache is a valid "caching disabled"
+// sentinel: Do on a nil receiver just calls the compute function.
+type Cache[V any] struct {
+	shards [shardCount]shard[V]
+
+	hits  sync.Mutex // guards the counters below
+	nHit  uint64
+	nMiss uint64
+}
+
+// New returns an empty cache.
+func New[V any]() *Cache[V] {
+	c := &Cache[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*entry[V])
+	}
+	return c
+}
+
+// Do returns the cached value for k, computing it with fn on first use.
+// Concurrent calls with the same key run fn once and share the result.
+// If fn panics, the panic propagates to every caller waiting on that
+// key, and the entry stays poisoned (repeating the panic) — a panicking
+// run is a bug, not a transient.
+func (c *Cache[V]) Do(k Key, fn func() V) V {
+	if c == nil {
+		return fn()
+	}
+	sh := &c.shards[k[0]%shardCount]
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		e = &entry[V]{done: make(chan struct{})}
+		sh.m[k] = e
+	}
+	sh.mu.Unlock()
+
+	if ok {
+		<-e.done
+		c.count(true)
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.val
+	}
+
+	c.count(false)
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked = r
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.val = fn()
+	close(e.done)
+	return e.val
+}
+
+func (c *Cache[V]) count(hit bool) {
+	c.hits.Lock()
+	if hit {
+		c.nHit++
+	} else {
+		c.nMiss++
+	}
+	c.hits.Unlock()
+}
+
+// Stats reports the number of cache hits and misses so far. Safe to
+// call concurrently with Do.
+func (c *Cache[V]) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.hits.Lock()
+	hits, misses = c.nHit, c.nMiss
+	c.hits.Unlock()
+	return hits, misses
+}
+
+// Len reports the number of distinct keys resident in the cache,
+// including in-flight entries.
+func (c *Cache[V]) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,111 @@
+package runcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	k[31] = b ^ 0xff
+	return k
+}
+
+func TestDoMemoizes(t *testing.T) {
+	c := New[int]()
+	calls := 0
+	for i := 0; i < 5; i++ {
+		got := c.Do(key(1), func() int { calls++; return 42 })
+		if got != 42 {
+			t.Fatalf("Do = %d, want 42", got)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if got := c.Do(key(2), func() int { calls++; return 7 }); got != 7 {
+		t.Fatalf("Do = %d, want 7", got)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 4 || misses != 2 {
+		t.Fatalf("Stats = (%d, %d), want (4, 2)", hits, misses)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New[int]()
+	var calls atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	// First caller blocks inside fn; the rest must wait, not recompute.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0] = c.Do(key(3), func() int {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 99
+		})
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Do(key(3), func() int {
+				calls.Add(1)
+				return -1
+			})
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r != 99 {
+			t.Fatalf("results[%d] = %d, want 99", i, r)
+		}
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	c := New[int]()
+	boom := func() int { panic("boom") }
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("call %d: recovered %v, want boom", i, r)
+				}
+			}()
+			c.Do(key(4), boom)
+			t.Fatalf("call %d: Do returned instead of panicking", i)
+		}()
+	}
+}
+
+func TestNilCacheComputes(t *testing.T) {
+	var c *Cache[string]
+	if got := c.Do(key(5), func() string { return "direct" }); got != "direct" {
+		t.Fatalf("nil Do = %q", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("nil Len = %d", c.Len())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil Stats = (%d, %d)", h, m)
+	}
+}

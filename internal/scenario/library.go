@@ -44,6 +44,7 @@ func StaticLab(device *energy.DeviceProfile, wifiMbps, lteMbps float64, work wor
 		WiFiRTT: labWiFiRTT,
 		LTERTT:  labLTERTT,
 		Work:    work,
+		linkSig: fmt.Sprintf("staticlab|%v|%v", wifiMbps, lteMbps),
 	}
 }
 
@@ -63,6 +64,7 @@ func RandomBandwidth(device *energy.DeviceProfile, work workload.Workload) Scena
 		WiFiRTT: labWiFiRTT,
 		LTERTT:  labLTERTT,
 		Work:    work,
+		linkSig: fmt.Sprintf("randbw|12|0.8|40|%v", labLTERate),
 	}
 }
 
@@ -80,6 +82,7 @@ func BackgroundTraffic(device *energy.DeviceProfile, n int, lambdaOn, lambdaOff 
 		WiFiRTT: labWiFiRTT,
 		LTERTT:  labLTERTT,
 		Work:    work,
+		linkSig: fmt.Sprintf("bg|14|n=%d|on=%v|off=%v|%v", n, lambdaOn, lambdaOff, labLTERate),
 	}
 }
 
@@ -102,6 +105,7 @@ func Mobility(device *energy.DeviceProfile) Scenario {
 		LTERTT:  labLTERTT,
 		Work:    workload.Bulk{},
 		Horizon: MobilityDuration,
+		linkSig: fmt.Sprintf("mobility|umass|%v", labLTERate),
 	}
 }
 
@@ -199,6 +203,7 @@ func Wild(device *energy.DeviceProfile, wifiQ, lteQ Quality, loc ServerLoc, work
 		WiFiRTT: wifiRTT,
 		LTERTT:  lteRTT,
 		Work:    work,
+		linkSig: fmt.Sprintf("wild|wifi=%v|lte=%v", wifiQ, lteQ),
 	}
 }
 
@@ -222,5 +227,6 @@ func MobilityMultiAP(device *energy.DeviceProfile) Scenario {
 		aps := []phy.Point{ap, {X: 72, Y: 14}, {X: 35, Y: 25}}
 		return link.NewMultiAPWiFi(eng, phy.DefaultWiFiCell(), route, aps)
 	}
+	sc.linkSig = fmt.Sprintf("mobility|umass-multiap|72,14|35,25|%v", labLTERate)
 	return sc
 }

@@ -107,6 +107,13 @@ type Scenario struct {
 	// video decode) charged while the session is active — the component
 	// the paper's §5.4 web measurements include. Zero by default.
 	AppPower units.Power
+
+	// linkSig is a canonical description of how WiFi and LTE were
+	// constructed, set only by this package's library constructors. The
+	// link builders are funcs and cannot be digested; the signature
+	// stands in for them in the run-cache key. Custom scenarios built
+	// outside the library leave it empty and are never cached.
+	linkSig string
 }
 
 // Opts carries per-run options.
@@ -122,6 +129,14 @@ type Opts struct {
 	// implementing trace.Sampler additionally get periodic Sample calls
 	// on their own grid. One recorder must serve exactly one run.
 	Recorder trace.Recorder
+	// Cache, when non-nil, memoizes results across runs: a repeated
+	// (scenario, protocol, seed, options) combination returns the cached
+	// Result instead of re-simulating. Only library scenarios are
+	// eligible (see Scenario.linkSig); runs with a Recorder always
+	// execute, since the recorder observes events in-line. Cached
+	// results are shared — callers must treat trace pointers as
+	// read-only, which every consumer in this repository does.
+	Cache *RunCache
 }
 
 // Result is what one run measures.
@@ -171,9 +186,10 @@ type run struct {
 	proto Protocol
 	opt   Opts
 
-	eng  *sim.Engine
-	src  *simrng.Source
-	acct *energy.Accountant
+	eng   *sim.Engine
+	src   *simrng.Source
+	acct  *energy.Accountant
+	arena *tcp.Arena
 
 	wifiProc link.Process
 	lteProc  link.Process
@@ -212,17 +228,36 @@ type associationSource interface {
 }
 
 // Run executes one scenario under one protocol and returns its Result.
+// Run state (engine, accountant, subflow arena, scratch buffers) is drawn
+// from a process-wide pool and reused between runs; a pooled run is
+// bit-identical to a fresh-state one. With Opts.Cache set, cache-eligible
+// runs (see Opts.Cache) are memoized under a content digest of their
+// inputs and simulate at most once per cache.
 func Run(sc Scenario, proto Protocol, opt Opts) Result {
+	if opt.Cache != nil {
+		if k, ok := cacheKey(sc, proto, opt); ok {
+			return opt.Cache.Do(k, func() Result { return runPooled(sc, proto, opt) })
+		}
+	}
+	return runPooled(sc, proto, opt)
+}
+
+func runPooled(sc Scenario, proto Protocol, opt Opts) Result {
+	st := statePool.Get().(*RunState)
+	res := st.runOne(sc, proto, opt)
+	statePool.Put(st)
+	return res
+}
+
+// runOne executes one run on this state's reused allocations.
+func (st *RunState) runOne(sc Scenario, proto Protocol, opt Opts) Result {
 	if sc.Device == nil || sc.WiFi == nil || sc.LTE == nil || sc.Work == nil {
 		panic("scenario: incomplete scenario")
 	}
 	if opt.TraceStep <= 0 {
 		opt.TraceStep = 1
 	}
-	r := &run{sc: sc, proto: proto, opt: opt, complete: math.NaN()}
-	r.eng = sim.New()
-	r.src = simrng.New(opt.Seed)
-	r.acct = energy.NewAccountant(sc.Device)
+	r := st.reset(sc, proto, opt)
 	r.acct.SetExtraBase(sc.AppPower)
 	r.acct.SetSessionActive(true)
 	if opt.Recorder != nil {
@@ -245,13 +280,6 @@ func Run(sc Scenario, proto Protocol, opt Opts) Result {
 
 	if proto == MDP {
 		r.mdpPol = baseline.GenerateMDP(baseline.DefaultMDPConfig(sc.Device))
-	}
-
-	if opt.Trace {
-		r.energyTrace = &stats.TimeSeries{}
-		for i := range r.thrTrace {
-			r.thrTrace[i] = &stats.TimeSeries{}
-		}
 	}
 
 	// The power monitor: meter throughput into the accountant.
@@ -361,6 +389,7 @@ func (r *run) open() workload.Conn { return &connAdapter{r: r} }
 // whose per-Mbps radio power is far higher on cellular.
 func (r *run) openConn(uplink bool) *mptcp.Connection {
 	opts := mptcp.DefaultOptions()
+	opts.Arena = r.arena
 	if r.proto == TCPWiFi || r.proto == TCPLTE {
 		opts.Coupling = mptcp.Uncoupled
 	}
@@ -519,13 +548,19 @@ func (r *run) collect() Result {
 		BaseEnergy:     r.acct.BaseEnergy(),
 		Switches:       0,
 		LTEUsed:        r.lteTouched || r.acct.InterfaceEnergy(energy.LTE) > 0,
-		EnergyTrace:    r.energyTrace,
+	}
+	// Traces are cloned out of the pooled scratch buffers: the Result
+	// outlives this run slot's reuse.
+	if r.energyTrace != nil {
+		res.EnergyTrace = r.energyTrace.Clone()
 	}
 	for i := 0; i < energy.NumInterfaces; i++ {
 		res.ByIface[i] = r.acct.InterfaceEnergy(energy.Interface(i))
 		res.Downloaded += r.delivered[i]
 		res.Uploaded += r.uplinked[i]
-		res.ThroughputTrace[i] = r.thrTrace[i]
+		if r.thrTrace[i] != nil {
+			res.ThroughputTrace[i] = r.thrTrace[i].Clone()
+		}
 	}
 	if moved := res.Downloaded + res.Uploaded; moved > 0 {
 		res.JPerByte = res.Energy.PerByte(moved)

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// normNaN replaces NaN completion times (incomplete runs) so that
+// reflect.DeepEqual — under which NaN != NaN — can compare results.
+func normNaN(r *Result) {
+	if math.IsNaN(r.CompletionTime) {
+		r.CompletionTime = -1
+	}
+}
+
+// TestPooledRunsIdentical is the Layer-2 golden test: runs on recycled
+// pooled state must be bit-identical — traces included — to runs on
+// fresh allocations.
+func TestPooledRunsIdentical(t *testing.T) {
+	scs := []Scenario{
+		StaticLab(s3(), 8, 6, workload.FileDownload{Size: 8 * units.MB}),
+		Mobility(s3()),
+		RandomBandwidth(s3(), workload.FileDownload{Size: 16 * units.MB}),
+	}
+	for _, sc := range scs {
+		for _, proto := range []Protocol{TCPWiFi, MPTCP, EMPTCP, WiFiFirst} {
+			for _, seed := range []int64{0, 3} {
+				opt := Opts{Seed: seed, Trace: true}
+				fresh := new(RunState).runOne(sc, proto, opt)
+				// Exercise real pool recycling: the pooled path has seen
+				// other scenarios by the time this run reuses a state.
+				pooled := Run(sc, proto, opt)
+				again := Run(sc, proto, opt)
+				normNaN(&fresh)
+				normNaN(&pooled)
+				normNaN(&again)
+				if !reflect.DeepEqual(fresh, pooled) {
+					t.Fatalf("%s/%v seed %d: pooled result differs from fresh\nfresh:  %+v\npooled: %+v",
+						sc.Name, proto, seed, fresh, pooled)
+				}
+				if !reflect.DeepEqual(pooled, again) {
+					t.Fatalf("%s/%v seed %d: repeated pooled runs differ", sc.Name, proto, seed)
+				}
+			}
+		}
+	}
+}

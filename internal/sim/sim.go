@@ -241,6 +241,33 @@ func (e *Engine) After(delay float64, fn func()) Event {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset returns the engine to the state of New while keeping the node
+// arena, heap, and free-list capacity, so a pooled engine re-runs without
+// regrowing kernel state. Event handles and Timers from before the reset
+// are stale afterwards: node generations are bumped, so using them is a
+// no-op, exactly like handles to fired events. Only the (at, seq) pair
+// orders events — node indices never do — so a run on a reset engine is
+// bit-identical to one on a fresh engine.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset during Run")
+	}
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		nd.fn = nil
+		nd.gen++
+		nd.dead = false
+		e.free = append(e.free, int32(i))
+	}
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.rec = nil
+	e.Horizon = 0
+}
+
 // Step fires the single next event, advancing the clock. It returns false
 // when the queue is empty or only holds events past the horizon.
 func (e *Engine) Step() bool {
@@ -323,6 +350,52 @@ func (e *Engine) RunUntil(t Time) Time {
 	}
 	return e.now
 }
+
+// Timer is a pre-bound re-armable timer: the callback is fixed when the
+// timer is bound, so arming it in steady state allocates nothing (plain
+// After/Schedule allocate a fresh closure per call whenever the callback
+// captures state). A Timer tracks at most one outstanding event —
+// re-arming cancels the pending one — which fits re-arming state machines
+// like link modulators and protocol timers. For overlapping events that
+// share one callback, pass a pre-bound func() to After/Schedule directly.
+//
+// The zero Timer is not usable; bind one with Engine.BindTimer. A Timer
+// must not be copied once armed (the copy would duplicate the
+// pending-event handle).
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  Event
+}
+
+// BindTimer binds fn to a reusable timer. The callback is bound once
+// here; every later arm reuses it.
+func (e *Engine) BindTimer(fn func()) Timer {
+	if fn == nil {
+		panic("sim: BindTimer with nil callback")
+	}
+	return Timer{eng: e, fn: fn}
+}
+
+// After arms the timer delay seconds from now, cancelling any pending arm.
+// Delay semantics match Engine.After.
+func (t *Timer) After(delay float64) {
+	t.ev.Cancel()
+	t.ev = t.eng.After(delay, t.fn)
+}
+
+// Schedule arms the timer at absolute time at, cancelling any pending
+// arm. Time semantics match Engine.Schedule.
+func (t *Timer) Schedule(at Time) {
+	t.ev.Cancel()
+	t.ev = t.eng.Schedule(at, t.fn)
+}
+
+// Stop cancels the pending arm, if any.
+func (t *Timer) Stop() { t.ev.Cancel() }
+
+// At returns the fire time of the most recent arm (or fired arm).
+func (t *Timer) At() Time { return t.ev.At() }
 
 // Ticker invokes fn every interval seconds until cancelled. The first tick
 // fires one interval from the time Tick is created.

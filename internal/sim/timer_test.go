@@ -1,0 +1,83 @@
+package sim
+
+import "testing"
+
+func TestTimerRearmAndStop(t *testing.T) {
+	e := New()
+	var fired []Time
+	tm := e.BindTimer(func() { fired = append(fired, e.Now()) })
+	tm.After(1)
+	tm.After(2) // re-arm cancels the pending arm
+	e.Run()
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+
+	tm.Schedule(5)
+	tm.Stop()
+	e.Run()
+	if len(fired) != 1 {
+		t.Fatalf("stopped timer fired: %v", fired)
+	}
+
+	// Re-arming after a fire (the state-machine pattern) works without a
+	// fresh binding.
+	tm.After(1)
+	e.Run()
+	if len(fired) != 2 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [2 3]", fired)
+	}
+	if tm.At() != 3 {
+		t.Fatalf("At = %v, want 3", tm.At())
+	}
+}
+
+func TestTimerSteadyStateAllocFree(t *testing.T) {
+	e := New()
+	var tm Timer
+	tm = e.BindTimer(func() { tm.After(1) })
+	tm.After(1)
+	for i := 0; i < 8; i++ {
+		e.Step()
+	}
+	if got := testing.AllocsPerRun(100, func() { e.Step() }); got != 0 {
+		t.Fatalf("timer re-arm allocated %.1f times", got)
+	}
+}
+
+func TestResetReusesArena(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 32; i++ {
+		e.Schedule(float64(i), fn)
+	}
+	ev := e.Schedule(100, fn)
+	e.RunUntil(10)
+	e.Reset()
+
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now=%v pending=%d", e.Now(), e.Pending())
+	}
+	// Handles from before the reset are stale: Cancel must not touch the
+	// recycled node.
+	ev.Cancel()
+
+	// A run on the reset engine behaves like one on a fresh engine and
+	// allocates nothing once the arena is warm.
+	var order []Time
+	e.Schedule(2, func() { order = append(order, e.Now()) })
+	e.Schedule(1, func() { order = append(order, e.Now()) })
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+
+	e.Reset()
+	if got := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		e.Schedule(1, fn)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("reset+schedule+step allocated %.1f times", got)
+	}
+}

@@ -197,6 +197,23 @@ func (ts *TimeSeries) Add(t, v float64) {
 // Len returns the number of samples.
 func (ts *TimeSeries) Len() int { return len(ts.T) }
 
+// Reset drops all samples, keeping the backing arrays for reuse.
+func (ts *TimeSeries) Reset() {
+	ts.T = ts.T[:0]
+	ts.V = ts.V[:0]
+}
+
+// Clone returns an independent exact-size copy of the series. Pooled run
+// state hands out clones so results outlive the reused scratch buffers.
+func (ts *TimeSeries) Clone() *TimeSeries {
+	out := &TimeSeries{}
+	if len(ts.T) > 0 {
+		out.T = append(make([]float64, 0, len(ts.T)), ts.T...)
+		out.V = append(make([]float64, 0, len(ts.V)), ts.V...)
+	}
+	return out
+}
+
 // Last returns the final sample, or NaNs when empty.
 func (ts *TimeSeries) Last() (t, v float64) {
 	if len(ts.T) == 0 {

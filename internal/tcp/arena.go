@@ -1,0 +1,38 @@
+package tcp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simrng"
+)
+
+// arenaChunk is how many subflows each arena chunk holds. Chunks are
+// fixed-size and never reallocated, so handed-out pointers stay stable
+// as the arena grows.
+const arenaChunk = 8
+
+// Arena allocates Subflows from pointer-stable chunks and recycles them
+// run over run: a recycled slot keeps its pre-bound callbacks and
+// free-listed round records, so a pooled run re-creates its subflows
+// without heap allocation. The zero Arena is ready to use. An Arena is
+// not safe for concurrent use; give each run slot its own.
+type Arena struct {
+	chunks [][]Subflow
+	next   int
+}
+
+// NewSubflow is NewSubflow backed by the arena. The returned subflow is
+// indistinguishable from a freshly allocated one.
+func (a *Arena) NewSubflow(id string, eng *sim.Engine, src *simrng.Source, path *Path, cfg Config, source DataSource) *Subflow {
+	chunk, slot := a.next/arenaChunk, a.next%arenaChunk
+	if chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Subflow, arenaChunk))
+	}
+	a.next++
+	sf := &a.chunks[chunk][slot]
+	initSubflow(sf, id, eng, src, path, cfg, source)
+	return sf
+}
+
+// Reset recycles every slot for the next run. Subflows handed out before
+// the reset must no longer be used.
+func (a *Arena) Reset() { a.next = 0 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/sim"
 	"repro/internal/simrng"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -31,4 +32,64 @@ func BenchmarkSubflowRounds(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(sf.Rounds)/float64(b.N), "rounds/op")
+}
+
+// BenchmarkSubflowRoundsTraced is BenchmarkSubflowRounds with a full
+// recorder attached (every kind, kernel events included): a traced round
+// must stay allocation-free too.
+func BenchmarkSubflowRoundsTraced(b *testing.B) {
+	eng := sim.New()
+	eng.SetRecorder(trace.NewJSONL(trace.AllKinds, 1024))
+	path := &Path{Name: "b", Capacity: link.NewConstant(units.MbpsRate(10)), BaseRTT: 0.05}
+	sf := NewSubflow("b", eng, simrng.New(1), path, DefaultConfig(), benchSink{})
+	sf.Connect(0)
+	b.ResetTimer()
+	for sf.Rounds < b.N {
+		if !eng.Step() {
+			b.Fatal("engine drained")
+		}
+	}
+	b.ReportMetric(float64(sf.Rounds)/float64(b.N), "rounds/op")
+}
+
+// runRounds steps the engine until the subflow completes n more rounds.
+func runRounds(tb testing.TB, eng *sim.Engine, sf *Subflow, n int) {
+	target := sf.Rounds + n
+	for sf.Rounds < target {
+		if !eng.Step() {
+			tb.Fatal("engine drained")
+		}
+	}
+}
+
+// TestSubflowRoundSteadyStateAllocFree is the CI alloc guard for the
+// fluid TCP model: once established, simulating rounds — plain and under
+// a full trace recorder — performs zero heap allocations.
+func TestSubflowRoundSteadyStateAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		traced bool
+	}{{"plain", false}, {"traced", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := sim.New()
+			if tc.traced {
+				rec := trace.NewJSONL(trace.AllKinds, 64)
+				// Fill the ring first so Record overwrites instead of
+				// appending.
+				for i := 0; i < 64; i++ {
+					rec.Record(trace.Event{Kind: trace.KindFire})
+				}
+				eng.SetRecorder(rec)
+			}
+			path := &Path{Name: "g", Capacity: link.NewConstant(units.MbpsRate(10)), BaseRTT: 0.05}
+			sf := NewSubflow("g", eng, simrng.New(1), path, DefaultConfig(), benchSink{})
+			sf.Connect(0)
+			runRounds(t, eng, sf, 64) // warm up: handshake, round record, heap growth
+			if got := testing.AllocsPerRun(100, func() {
+				runRounds(t, eng, sf, 1)
+			}); got != 0 {
+				t.Fatalf("steady-state round allocated %.1f times", got)
+			}
+		})
+	}
 }

@@ -170,20 +170,72 @@ type Subflow struct {
 
 	// OnEstablished, when non-nil, fires once the handshake completes.
 	OnEstablished func(sf *Subflow)
+
+	hsRTT     float64       // RTT drawn for the in-progress handshake
+	estFn     func()        // pre-bound handshake completion
+	kickFn    func()        // pre-bound Kick for deferred wakeups
+	roundFree []*roundState // free-listed round records
 }
+
+// roundState carries one in-flight round's values to its pre-bound
+// completion callback — exactly what the per-round closures used to
+// capture. Records are free-listed per subflow, so steady-state rounds
+// allocate nothing while still behaving like independent closures when
+// re-entrant delivery starts a second concurrent round (receive-window
+// wakeups can).
+type roundState struct {
+	sf        *Subflow
+	n         units.ByteSize
+	dur       float64
+	lost      bool
+	endFn     func()
+	timeoutFn func()
+}
+
+// getRound pops a free round record or builds one, binding its callbacks
+// exactly once.
+func (sf *Subflow) getRound() *roundState {
+	if n := len(sf.roundFree); n > 0 {
+		r := sf.roundFree[n-1]
+		sf.roundFree = sf.roundFree[:n-1]
+		return r
+	}
+	r := &roundState{sf: sf}
+	r.endFn = r.end
+	r.timeoutFn = r.timeout
+	return r
+}
+
+func (sf *Subflow) putRound(r *roundState) { sf.roundFree = append(sf.roundFree, r) }
 
 // NewSubflow builds a closed subflow over path. Call Connect to start it.
 func NewSubflow(id string, eng *sim.Engine, src *simrng.Source, path *Path, cfg Config, source DataSource) *Subflow {
+	sf := &Subflow{}
+	initSubflow(sf, id, eng, src, path, cfg, source)
+	return sf
+}
+
+// initSubflow (re)initializes a subflow in place — sf is either zeroed
+// (NewSubflow) or a recycled Arena slot, whose pre-bound callbacks and
+// round records are kept so reuse allocates nothing.
+func initSubflow(sf *Subflow, id string, eng *sim.Engine, src *simrng.Source, path *Path, cfg Config, source DataSource) {
 	if cfg.MSS <= 0 || cfg.InitialWindow <= 0 || cfg.MaxWindow < cfg.InitialWindow || cfg.MinRTO <= 0 {
 		panic("tcp: invalid subflow config")
 	}
-	return &Subflow{
-		ID:     id,
-		eng:    eng,
-		src:    src,
-		path:   path,
-		cfg:    cfg,
-		source: source,
+	*sf = Subflow{
+		ID:        id,
+		eng:       eng,
+		src:       src,
+		path:      path,
+		cfg:       cfg,
+		source:    source,
+		estFn:     sf.estFn,
+		kickFn:    sf.kickFn,
+		roundFree: sf.roundFree,
+	}
+	if sf.estFn == nil {
+		sf.estFn = sf.established
+		sf.kickFn = sf.Kick
 	}
 }
 
@@ -221,26 +273,35 @@ func (sf *Subflow) Connect(extraDelay float64) {
 		panic("tcp: Connect on a non-closed subflow")
 	}
 	sf.state = Connecting
-	hsRTT := sf.rtt()
-	sf.eng.After(extraDelay+hsRTT, func() {
-		sf.state = Established
-		sf.HandshakeRTT = hsRTT
-		sf.srtt = hsRTT
-		sf.cwnd = sf.cfg.InitialWindow
-		sf.ssthresh = sf.cfg.MaxWindow
-		sf.lastSendAt = sf.eng.Now()
-		if rec := sf.eng.Recorder(); rec != nil {
-			rec.Record(trace.Event{
-				T: sf.eng.Now(), Kind: trace.KindTCPState,
-				Subflow: sf.ID, From: Connecting.String(), To: Established.String(),
-			})
-		}
-		if sf.OnEstablished != nil {
-			sf.OnEstablished(sf)
-		}
-		sf.Kick()
-	})
+	sf.hsRTT = sf.rtt()
+	sf.eng.After(extraDelay+sf.hsRTT, sf.estFn)
 }
+
+// established completes the handshake (pre-bound in NewSubflow).
+func (sf *Subflow) established() {
+	hsRTT := sf.hsRTT
+	sf.state = Established
+	sf.HandshakeRTT = hsRTT
+	sf.srtt = hsRTT
+	sf.cwnd = sf.cfg.InitialWindow
+	sf.ssthresh = sf.cfg.MaxWindow
+	sf.lastSendAt = sf.eng.Now()
+	if rec := sf.eng.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			T: sf.eng.Now(), Kind: trace.KindTCPState,
+			Subflow: sf.ID, From: Connecting.String(), To: Established.String(),
+		})
+	}
+	if sf.OnEstablished != nil {
+		sf.OnEstablished(sf)
+	}
+	sf.Kick()
+}
+
+// KickFunc returns the subflow's pre-bound Kick callback, so callers
+// scheduling deferred wakeups (the min-RTT scheduler) allocate no closure
+// per deferral. Any number of arms may be outstanding at once.
+func (sf *Subflow) KickFunc() func() { return sf.kickFn }
 
 // Suspend places the subflow in backup mode (the MP_PRIO low-priority
 // signal): it finishes the round in flight and then requests no more data.
@@ -299,29 +360,14 @@ func (sf *Subflow) startRound() {
 
 	share := sf.path.share()
 	rtt := sf.rtt()
+	r := sf.getRound()
+	r.n = n
 
 	if share <= 0 {
 		// Dead path: nothing moves for a full RTO, then the data is
 		// returned (the sender would retransmit; the connection may
 		// reinject it on another subflow) and the window collapses.
-		timeout := sf.rto()
-		sf.eng.After(timeout, func() {
-			sf.path.active--
-			sf.inRound = false
-			sf.Losses++
-			sf.cwnd = sf.cfg.InitialWindow
-			sf.ssthresh = math.Max(sf.ssthresh/2, 2)
-			sf.lastSendAt = sf.eng.Now()
-			if rec := sf.eng.Recorder(); rec != nil {
-				rec.Record(trace.Event{
-					T: sf.eng.Now(), Kind: trace.KindLoss,
-					Subflow: sf.ID, To: "timeout", A: sf.cwnd, B: sf.ssthresh,
-				})
-			}
-			sf.source.Returned(sf, n)
-			// Retry while data remains queued for us.
-			sf.startRound()
-		})
+		sf.eng.After(sf.rto(), r.timeoutFn)
 		return
 	}
 
@@ -334,49 +380,75 @@ func (sf *Subflow) startRound() {
 	// Random per-packet loss aggregated to a per-round loss event.
 	pkts := math.Max(1, float64(n)/float64(sf.cfg.MSS))
 	pRound := 1 - math.Pow(1-sf.path.LossProb(), pkts)
-	lost := congested || sf.src.Bernoulli(pRound)
+	r.lost = congested || sf.src.Bernoulli(pRound)
+	r.dur = dur
+	sf.eng.After(dur, r.endFn)
+}
 
-	sf.eng.After(dur, func() {
-		sf.path.active--
-		sf.inRound = false
-		sf.Rounds++
-		sf.lastSendAt = sf.eng.Now()
-		// Update the smoothed RTT with this round's effective duration.
-		sf.srtt = 0.875*sf.srtt + 0.125*dur
+// timeout ends a dead-path round after a full RTO.
+func (r *roundState) timeout() {
+	sf, n := r.sf, r.n
+	sf.putRound(r)
+	sf.path.active--
+	sf.inRound = false
+	sf.Losses++
+	sf.cwnd = sf.cfg.InitialWindow
+	sf.ssthresh = math.Max(sf.ssthresh/2, 2)
+	sf.lastSendAt = sf.eng.Now()
+	if rec := sf.eng.Recorder(); rec != nil {
+		rec.Record(trace.Event{
+			T: sf.eng.Now(), Kind: trace.KindLoss,
+			Subflow: sf.ID, To: "timeout", A: sf.cwnd, B: sf.ssthresh,
+		})
+	}
+	sf.source.Returned(sf, n)
+	// Retry while data remains queued for us.
+	sf.startRound()
+}
 
+// end completes one transmission round.
+func (r *roundState) end() {
+	sf, n, dur, lost := r.sf, r.n, r.dur, r.lost
+	sf.putRound(r)
+	sf.path.active--
+	sf.inRound = false
+	sf.Rounds++
+	sf.lastSendAt = sf.eng.Now()
+	// Update the smoothed RTT with this round's effective duration.
+	sf.srtt = 0.875*sf.srtt + 0.125*dur
+
+	if lost {
+		sf.Losses++
+		sf.ssthresh = math.Max(sf.cwnd/2, 2)
+		sf.cwnd = sf.ssthresh // fast recovery, not timeout
+	} else if sf.cwnd < sf.ssthresh {
+		sf.cwnd = math.Min(sf.cwnd*2, sf.ssthresh) // slow start
+	} else {
+		sf.cwnd += sf.source.IncreasePerRTT(sf) // congestion avoidance
+	}
+	sf.cwnd = math.Min(sf.cwnd, sf.cfg.MaxWindow)
+	sf.cwnd = math.Max(sf.cwnd, 1)
+	if rec := sf.eng.Recorder(); rec != nil {
 		if lost {
-			sf.Losses++
-			sf.ssthresh = math.Max(sf.cwnd/2, 2)
-			sf.cwnd = sf.ssthresh // fast recovery, not timeout
-		} else if sf.cwnd < sf.ssthresh {
-			sf.cwnd = math.Min(sf.cwnd*2, sf.ssthresh) // slow start
-		} else {
-			sf.cwnd += sf.source.IncreasePerRTT(sf) // congestion avoidance
-		}
-		sf.cwnd = math.Min(sf.cwnd, sf.cfg.MaxWindow)
-		sf.cwnd = math.Max(sf.cwnd, 1)
-		if rec := sf.eng.Recorder(); rec != nil {
-			if lost {
-				rec.Record(trace.Event{
-					T: sf.eng.Now(), Kind: trace.KindLoss,
-					Subflow: sf.ID, To: "halve", A: sf.cwnd, B: sf.ssthresh,
-				})
-			}
 			rec.Record(trace.Event{
-				T: sf.eng.Now(), Kind: trace.KindCwnd,
-				Subflow: sf.ID, A: sf.cwnd, B: sf.ssthresh,
+				T: sf.eng.Now(), Kind: trace.KindLoss,
+				Subflow: sf.ID, To: "halve", A: sf.cwnd, B: sf.ssthresh,
 			})
 		}
+		rec.Record(trace.Event{
+			T: sf.eng.Now(), Kind: trace.KindCwnd,
+			Subflow: sf.ID, A: sf.cwnd, B: sf.ssthresh,
+		})
+	}
 
-		// The fluid model delivers the round's bytes reliably; loss is
-		// reflected in window dynamics (retransmissions ride inside the
-		// stretched round duration).
-		sf.BytesDelivered += n
-		sf.source.Delivered(sf, n)
-		if !sf.suspended {
-			sf.startRound()
-		}
-	})
+	// The fluid model delivers the round's bytes reliably; loss is
+	// reflected in window dynamics (retransmissions ride inside the
+	// stretched round duration).
+	sf.BytesDelivered += n
+	sf.source.Delivered(sf, n)
+	if !sf.suspended {
+		sf.startRound()
+	}
 }
 
 // Throughput returns the subflow's smoothed current goodput estimate:
