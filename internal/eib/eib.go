@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/energy"
 	"repro/internal/units"
@@ -100,6 +101,31 @@ func Generate(d *energy.DeviceProfile, cfg Config) *Table {
 		})
 	}
 	return t
+}
+
+// tableCache memoizes Generate results. Generation runs thousands of
+// bisection steps over the device power model, and simulation runs repeat
+// it with identical inputs for every eMPTCP connection; the result depends
+// only on the (device, config) pair. Keyed by device pointer: callers must
+// not mutate a profile after generating a table from it (no caller does —
+// profiles are built once per experiment and read thereafter).
+var tableCache sync.Map
+
+type tableKey struct {
+	d   *energy.DeviceProfile
+	cfg Config
+}
+
+// GenerateCached returns a shared, memoized table for the (device, config)
+// pair. Tables are immutable after generation, so sharing one across
+// concurrent runs is safe.
+func GenerateCached(d *energy.DeviceProfile, cfg Config) *Table {
+	k := tableKey{d, cfg}
+	if v, ok := tableCache.Load(k); ok {
+		return v.(*Table)
+	}
+	v, _ := tableCache.LoadOrStore(k, Generate(d, cfg))
+	return v.(*Table)
 }
 
 // lteOnlyThreshold finds the smallest WiFi throughput at which using both

@@ -62,6 +62,14 @@ type Radio struct {
 	quality    float64 // link quality in [0,1] for the weak-signal model
 	energy     units.Energy
 
+	// Memoized float→Duration→float interval conversion for the
+	// active-radio fast path: meter ticks repeat the same dt for long
+	// stretches, and Power.Over's round-trip through time.Duration is
+	// rounding-visible, so the converted seconds are cached by operand
+	// (identical input bits give identical output bits).
+	lastDt  float64
+	lastSec float64
+
 	rec        trace.Recorder
 	stateSince float64 // integrator time the current state was entered
 }
@@ -163,7 +171,7 @@ func (r *Radio) ActivationDelay() float64 {
 	case Idle:
 		return r.Params.PromoDur
 	case Promotion:
-		return math.Max(0, r.promoEnd-r.now)
+		return max(0, r.promoEnd-r.now)
 	default:
 		return 0
 	}
@@ -183,6 +191,32 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 	if active && r.state == Idle {
 		panic("energy: data on an idle radio without Activate")
 	}
+	// Fast paths for the two overwhelmingly common meter ticks: a radio
+	// sitting idle (only the dwell clock moves; no energy term exists to
+	// add) and a radio staying active for the whole interval (exactly the
+	// one power×duration addition the loop would perform). Both execute
+	// the identical float operations in identical order as the general
+	// loop, so the integrals stay bit-for-bit the same.
+	if !active && r.state == Idle {
+		if t > r.now {
+			r.now = t
+		}
+		return 0
+	}
+	if active && r.state == Active {
+		if t > r.now {
+			p := r.Params.ActivePower(down, up) + r.weakSignalPower()
+			// Identical to p.Over(units.Duration(dt)) with the
+			// Duration→seconds conversion memoized by operand.
+			if dt := t - r.now; dt != r.lastDt {
+				r.lastDt = dt
+				r.lastSec = units.Duration(dt).Seconds()
+			}
+			r.energy += units.Energy(float64(p) * r.lastSec)
+			r.now = t
+		}
+		return r.energy - before
+	}
 	for r.now < t {
 		switch r.state {
 		case Idle:
@@ -190,7 +224,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 			// accountant's DeviceBase).
 			r.now = t
 		case Promotion:
-			end := math.Min(t, r.promoEnd)
+			end := min(t, r.promoEnd)
 			r.energy += r.Params.PromoPower.Over(units.Duration(end - r.now))
 			r.now = end
 			if r.now >= r.promoEnd {
@@ -214,7 +248,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 				r.setState(Active)
 				continue
 			}
-			end := math.Min(t, r.tailEnd)
+			end := min(t, r.tailEnd)
 			r.energy += r.Params.TailPower.Over(units.Duration(end - r.now))
 			r.now = end
 			if r.now >= r.tailEnd {
@@ -230,7 +264,7 @@ func (r *Radio) Advance(t float64, down, up units.BitRate) units.Energy {
 			// otherwise dwells until its inactivity timer expires.
 			end := t
 			if !active {
-				end = math.Min(t, r.fachEnd)
+				end = min(t, r.fachEnd)
 			}
 			r.energy += r.Params.FACHPower.Over(units.Duration(end - r.now))
 			r.now = end
@@ -318,6 +352,15 @@ type Accountant struct {
 	baseOn    bool
 	extraBase units.Power
 
+	// Memoized base-power increment: meter ticks integrate the same
+	// constant power over the same interval for thousands of consecutive
+	// calls, and Power.Over's float→Duration→float round-trip is
+	// rounding-visible, so the exact increment is cached by operands
+	// (identical inputs give identical bits) rather than recomputed.
+	lastBaseP   units.Power
+	lastBaseDt  float64
+	lastBaseInc units.Energy
+
 	// Trace, when non-nil, receives cumulative total-energy samples on
 	// every Advance; experiments use it for the Figure 7/12 accumulated
 	// energy time series.
@@ -342,6 +385,7 @@ func (a *Accountant) Reset(p *DeviceProfile) {
 	a.base = 0
 	a.baseOn = false
 	a.extraBase = 0
+	a.lastBaseP, a.lastBaseDt, a.lastBaseInc = 0, 0, 0
 	a.Trace = nil
 	for i := 0; i < NumInterfaces; i++ {
 		a.radios[i].Reset(Interface(i), p.Radios[i])
@@ -381,10 +425,41 @@ func (a *Accountant) Advance(t float64, thr Throughputs) {
 		panic(fmt.Sprintf("energy: Accountant.Advance going backwards: t=%v now=%v", t, a.now))
 	}
 	for i := 0; i < NumInterfaces; i++ {
-		a.radios[i].Advance(t, thr.Down[i], thr.Up[i])
+		r := a.radios[i]
+		down, up := thr.Down[i], thr.Up[i]
+		if r.state == Idle && down <= 0 && up <= 0 {
+			// Inline the idle fast path: most meter ticks advance two or
+			// three idle radios, and the dwell clock is all that moves.
+			if t > r.now {
+				r.now = t
+			}
+			continue
+		}
+		if r.state == Active && (down > 0 || up > 0) {
+			// Inline the staying-active fast path too (Radio.Advance is
+			// too large to inline as a whole): the identical single
+			// power×duration addition, with the same memoized interval
+			// conversion.
+			if t > r.now {
+				p := r.Params.ActivePower(down, up) + r.weakSignalPower()
+				if dt := t - r.now; dt != r.lastDt {
+					r.lastDt = dt
+					r.lastSec = units.Duration(dt).Seconds()
+				}
+				r.energy += units.Energy(float64(p) * r.lastSec)
+				r.now = t
+			}
+			continue
+		}
+		r.Advance(t, down, up)
 	}
 	if a.baseOn {
-		a.base += (a.Profile.DeviceBase + a.extraBase).Over(units.Duration(t - a.now))
+		p := a.Profile.DeviceBase + a.extraBase
+		if dt := t - a.now; p != a.lastBaseP || dt != a.lastBaseDt {
+			a.lastBaseP, a.lastBaseDt = p, dt
+			a.lastBaseInc = p.Over(units.Duration(dt))
+		}
+		a.base += a.lastBaseInc
 	}
 	a.now = t
 	if a.Trace != nil {

@@ -13,7 +13,6 @@ package mptcp
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/energy"
 	"repro/internal/sim"
@@ -79,6 +78,7 @@ type Connection struct {
 	opts Options
 
 	subflows []*tcp.Subflow
+	lia      []liaCache // per-subflow memoized LIA quotients, parallel to subflows
 
 	queued    units.ByteSize // cumulative bytes enqueued
 	taken     units.ByteSize // cumulative bytes handed to subflows (minus returns)
@@ -113,7 +113,13 @@ func (c *Connection) AddSubflow(id string, iface energy.Interface, path *tcp.Pat
 		sf = tcp.NewSubflow(id, c.eng, c.src.Split(uint64(len(c.subflows))+0x5f), path, conf, (*connSource)(c))
 	}
 	sf.Meta = subflowMeta{iface: iface}
+	// A join changes the LIA coupling set and the scheduler's choices:
+	// stop any sibling's round batch at its next boundary.
+	for _, other := range c.subflows {
+		other.InvalidateBatch()
+	}
 	c.subflows = append(c.subflows, sf)
+	c.lia = append(c.lia, liaCache{})
 	if rec := c.eng.Recorder(); rec != nil {
 		rec.Record(trace.Event{
 			T: c.eng.Now(), Kind: trace.KindSubflow,
@@ -254,6 +260,9 @@ func (cs *connSource) Request(sf *tcp.Subflow, max units.ByteSize) units.ByteSiz
 			}
 			best.Kick()
 			c.eng.After(best.SRTT()+1e-3, sf.KickFunc())
+			// The deferral re-picks the scheduler later; don't let the
+			// requester's batch (if one is open) coalesce past it.
+			sf.InvalidateBatch()
 			return 0
 		}
 	}
@@ -321,6 +330,18 @@ func (cs *connSource) Returned(sf *tcp.Subflow, n units.ByteSize) {
 	}
 }
 
+// liaCache memoizes one subflow's LIA quotients. Division dominates the
+// increase computation, and between a subflow's own rounds the sibling
+// windows are frozen (round batching makes long frozen stretches the
+// common case), so the quotients are recomputed only when the operands
+// change. Identical operand bits give identical quotient bits, so the
+// cache cannot perturb results.
+type liaCache struct {
+	w, r    float64
+	wOverR  float64 // w / r
+	wOverR2 float64 // w / (r * r)
+}
+
 // IncreasePerRTT implements the coupled congestion-avoidance increase.
 func (cs *connSource) IncreasePerRTT(sf *tcp.Subflow) float64 {
 	c := cs.conn()
@@ -332,15 +353,21 @@ func (cs *connSource) IncreasePerRTT(sf *tcp.Subflow) float64 {
 	// min(alpha·cwnd_i/cwnd_total, 1), with
 	// alpha = cwnd_total · max_i(cwnd_i/rtt_i²) / (Σ_i cwnd_i/rtt_i)².
 	var total, sum, best float64
-	for _, s := range c.subflows {
+	for i, s := range c.subflows {
 		if s.State() != tcp.Established || s.Suspended() || s.SRTT() <= 0 {
 			continue
 		}
 		w, r := s.Cwnd(), s.SRTT()
+		e := &c.lia[i]
+		if e.w != w || e.r != r {
+			e.w, e.r = w, r
+			e.wOverR = w / r
+			e.wOverR2 = w / (r * r)
+		}
 		total += w
-		sum += w / r
-		if v := w / (r * r); v > best {
-			best = v
+		sum += e.wOverR
+		if e.wOverR2 > best {
+			best = e.wOverR2
 		}
 	}
 	if total <= 0 || sum <= 0 {
@@ -348,7 +375,7 @@ func (cs *connSource) IncreasePerRTT(sf *tcp.Subflow) float64 {
 	}
 	alpha := total * best / (sum * sum)
 	inc := alpha * sf.Cwnd() / total
-	return math.Min(inc, 1)
+	return min(inc, 1)
 }
 
 // String summarizes the connection.

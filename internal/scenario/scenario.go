@@ -351,6 +351,14 @@ type radioControl struct{ r *run }
 
 func (rc radioControl) Activate(iface energy.Interface) float64 {
 	rc.r.flushMeter()
+	// A radio-state change alters dwell accounting and (via promotion
+	// delay) upcoming subflow behaviour: stop any open round batch at its
+	// next boundary.
+	for _, c := range rc.r.conns {
+		for _, sf := range c.Subflows() {
+			sf.InvalidateBatch()
+		}
+	}
 	if iface == energy.LTE {
 		rc.r.lteTouched = true
 	}
@@ -428,7 +436,7 @@ func (r *run) openConn(uplink bool) *mptcp.Connection {
 		// transmit power shifts every threshold.
 		eibCfg := eib.DefaultConfig()
 		eibCfg.Uplink = uplink
-		table := eib.Generate(r.sc.Device, eibCfg)
+		table := eib.GenerateCached(r.sc.Device, eibCfg)
 		lteCfg := tcp.DefaultConfig()
 		lteCfg.DisableIdleCwndReset = true // §3.6 fast-reuse on resumed subflows
 		coreCfg := core.DefaultConfig()

@@ -25,10 +25,11 @@ import (
 // bit-identical to a fresh one (TestPooledRunsIdentical). Results never
 // alias pooled memory: time-series scratch is cloned out in collect.
 type RunState struct {
-	eng   *sim.Engine
-	acct  *energy.Accountant
-	arena tcp.Arena
-	r     run
+	eng      *sim.Engine
+	acct     *energy.Accountant
+	arena    tcp.Arena
+	rngArena simrng.Arena
+	r        run
 
 	energyScratch stats.TimeSeries
 	thrScratch    [energy.NumInterfaces]stats.TimeSeries
@@ -50,6 +51,7 @@ func (st *RunState) reset(sc Scenario, proto Protocol, opt Opts) *run {
 		st.acct.Reset(sc.Device)
 	}
 	st.arena.Reset()
+	st.rngArena.Reset()
 	r := &st.r
 	*r = run{
 		sc:       sc,
@@ -57,7 +59,7 @@ func (st *RunState) reset(sc Scenario, proto Protocol, opt Opts) *run {
 		opt:      opt,
 		complete: math.NaN(),
 		eng:      st.eng,
-		src:      simrng.New(opt.Seed),
+		src:      st.rngArena.New(opt.Seed),
 		acct:     st.acct,
 		arena:    &st.arena,
 		conns:    r.conns[:0],

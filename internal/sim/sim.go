@@ -101,6 +101,10 @@ type Engine struct {
 	running bool
 	stopped bool
 	rec     trace.Recorder
+	// limit bounds inline (batched) firing while RunUntil is active:
+	// RunUntil(t) must leave events past t queued, and the batcher must
+	// not coalesce the clock past t either. +Inf when no bound applies.
+	limit Time
 	// Horizon, when positive, bounds simulated time: Run returns once the
 	// next event would fire past it.
 	Horizon Time
@@ -108,7 +112,7 @@ type Engine struct {
 
 // New returns an Engine with the clock at zero.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{limit: math.Inf(1)}
 }
 
 // Now returns the current simulated time.
@@ -266,6 +270,147 @@ func (e *Engine) Reset() {
 	e.stopped = false
 	e.rec = nil
 	e.Horizon = 0
+	e.limit = math.Inf(1)
+}
+
+// PeekNext reports the (time, sequence) of the next live event without
+// firing it. Dead (cancelled) entries at the top of the queue are drained
+// on the way, exactly as Step would drain them. ok is false when no live
+// event is pending.
+//
+// Together with Deferred this is the batch-window contract used by the
+// round-coalescing fast path in internal/tcp: a caller may execute a
+// deferred callback inline, without a heap round-trip, exactly when the
+// engine itself would have fired it next (see CanFireInline).
+func (e *Engine) PeekNext() (at Time, seq uint64, ok bool) {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.nodes[top.idx].dead {
+			e.pop()
+			e.release(top.idx)
+			continue
+		}
+		return top.at, top.seq, true
+	}
+	return 0, 0, false
+}
+
+// Deferred is a reserved event slot: a fire time plus the sequence number
+// a real Schedule call at reservation time would have consumed. It lets a
+// hot loop (the TCP round batcher) decide after the fact whether to run
+// the callback inline (FireInline) or fall back to the heap
+// (CommitDeferred), while keeping event ordering — which depends only on
+// (time, seq) pairs — bit-identical to the unbatched schedule/fire cycle.
+type Deferred struct {
+	at  Time
+	seq uint64
+}
+
+// At returns the reserved fire time.
+func (d Deferred) At() Time { return d.at }
+
+// DeferAfter reserves the next sequence number for a callback that would
+// fire delay seconds from now and emits the same schedule trace event a
+// real After would, but touches no heap or node state. Delay semantics
+// match After (negative clamps to zero; +Inf reserves nothing and the
+// slot can never fire).
+func (e *Engine) DeferAfter(delay float64) Deferred {
+	if math.IsInf(delay, 1) {
+		return Deferred{at: math.Inf(1)}
+	}
+	if math.IsNaN(delay) {
+		panic("sim: deferring at NaN time")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	d := Deferred{at: e.now + delay, seq: e.seq}
+	e.seq++
+	if e.rec != nil {
+		e.rec.Record(trace.Event{T: e.now, Kind: trace.KindSchedule, A: d.at})
+	}
+	return d
+}
+
+// CanFireInline reports whether the deferred slot is exactly the event
+// the engine would dispatch next: strictly ahead of every pending live
+// event under the (time, seq) order, not cut off by the horizon, and the
+// engine not stopped. When it returns false the caller must CommitDeferred
+// and let the ordinary Run loop take over.
+func (e *Engine) CanFireInline(d Deferred) bool {
+	if e.stopped {
+		return false
+	}
+	if e.Horizon > 0 && d.at > e.Horizon {
+		return false
+	}
+	if d.at > e.limit {
+		// A RunUntil(t) bound: events past t stay queued, so the batcher
+		// must hand the slot back to the heap, not run it inline.
+		return false
+	}
+	if math.IsInf(d.at, 1) {
+		return false
+	}
+	at, seq, ok := e.PeekNext()
+	return !ok || d.at < at || (d.at == at && d.seq < seq)
+}
+
+// FireInline advances the clock to the deferred slot's fire time and
+// emits the fire trace event; the caller runs the callback body itself.
+// The caller must have checked CanFireInline — firing a slot the engine
+// would not have dispatched next breaks causality.
+func (e *Engine) FireInline(d Deferred) {
+	e.now = d.at
+	if e.rec != nil {
+		e.rec.Record(trace.Event{T: e.now, Kind: trace.KindFire})
+	}
+}
+
+// TryFireInline is the batcher's fused fast path: it performs the
+// CanFireInline check and, on success, the FireInline clock advance in a
+// single call. Behaviour is exactly CanFireInline followed by FireInline;
+// the fusion only removes call overhead and duplicate loads from the
+// per-round batch check.
+func (e *Engine) TryFireInline(d Deferred) bool {
+	// d.at > MaxFloat64 rejects the +Inf never-firable slot; d.at is never
+	// NaN (DeferAfter panics on NaN delays).
+	if e.stopped || d.at > e.limit || d.at > math.MaxFloat64 {
+		return false
+	}
+	if h := e.Horizon; h > 0 && d.at > h {
+		return false
+	}
+	if len(e.heap) > 0 {
+		// Compare against the raw heap top without draining cancelled
+		// entries: if d precedes even a dead top it precedes everything,
+		// and if a dead top precedes d the refusal is merely conservative
+		// (the slot goes back to the heap and Step drains as usual).
+		// Skipping the liveness lookup keeps the probe free of the
+		// dependent nodes[] load. Sequence numbers are unique, so top
+		// either strictly precedes d or strictly follows it.
+		top := e.heap[0]
+		if top.at < d.at || (top.at == d.at && top.seq < d.seq) {
+			return false
+		}
+	}
+	e.now = d.at
+	if e.rec != nil {
+		e.rec.Record(trace.Event{T: e.now, Kind: trace.KindFire})
+	}
+	return true
+}
+
+// CommitDeferred schedules the deferred slot into the event heap under
+// its reserved sequence number. No second schedule trace event is
+// emitted — DeferAfter already recorded it. A +Inf slot (from an
+// infinite delay) is dropped, matching After.
+func (e *Engine) CommitDeferred(d Deferred, fn func()) {
+	if math.IsInf(d.at, 1) {
+		return
+	}
+	idx := e.alloc(fn)
+	e.push(entry{at: d.at, seq: d.seq, idx: idx})
 }
 
 // Step fires the single next event, advancing the clock. It returns false
@@ -327,6 +472,9 @@ func (e *Engine) RunUntil(t Time) Time {
 	if e.Horizon > 0 && t > e.Horizon {
 		t = e.Horizon
 	}
+	prev := e.limit
+	e.limit = t
+	defer func() { e.limit = prev }()
 	for len(e.heap) > 0 {
 		// Drain dead events so the head is live.
 		top := e.heap[0]

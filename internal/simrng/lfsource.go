@@ -1,0 +1,224 @@
+// Native reimplementation of math/rand's additive lagged-Fibonacci
+// generator, plus a bounded cache of seed→initial-state vectors.
+//
+// Why: a CPU profile of the hot benchmarks showed ~9% of run time inside
+// math/rand seeding — every Split re-derives a 607-word state vector with
+// three 20-iteration LCG draws per word. The simulator re-seeds
+// constantly (one child stream per subflow per run, hundreds of runs per
+// experiment), and because experiment repetitions reuse the same run
+// seeds, the same vectors are derived over and over. Reimplementing the
+// generator makes the state vector a plain value we can memoize and copy.
+//
+// The stream must be bit-identical to math/rand's: every experiment
+// output in the repo is golden-tested against byte-exact expectations.
+// The generator below follows the same recurrence, seeding LCG, and
+// cooking constants as math/rand's rngSource; lfsource_test.go proves
+// equality exhaustively (first 10k draws across 1k seeds). The cooking
+// table itself is not copied from the standard library — it is recovered
+// algebraically at init from the output stream of rand.NewSource(1) (see
+// initCooked), which both avoids duplicating a 607-entry literal and
+// pins us to whatever table the linked math/rand actually uses.
+package simrng
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	lfLen  = 607           // degree of the recurrence x_n = x_{n-273} + x_{n-607}
+	lfTap  = 273           // distance to the second term
+	lfMax  = 1 << 63       // Int63 modulus
+	lfMask = lfMax - 1     // Int63 mask
+	lfA    = 48271         // seeding LCG multiplier (Park–Miller)
+	lfM    = (1 << 31) - 1 // seeding LCG modulus (2^31-1, prime)
+	lfQ    = 44488         // lfM / lfA
+	lfR    = 3399          // lfM % lfA
+)
+
+// lfCooked is the additive scrambling table XORed into the seeded state,
+// recovered from math/rand at package init.
+var lfCooked [lfLen]uint64
+
+// lfSource is the generator state. It implements rand.Source64, so a
+// rand.Rand wrapped around it reproduces every math/rand distribution
+// (including the ziggurat ExpFloat64/NormFloat64) bit-for-bit.
+type lfSource struct {
+	tap  int
+	feed int
+	vec  [lfLen]int64
+}
+
+// seedrand advances the Park–Miller LCG without overflowing int32
+// (Schrage's method), exactly as math/rand's seeding does.
+func seedrand(x int32) int32 {
+	hi := x / lfQ
+	lo := x % lfQ
+	x = lfA*lo - lfR*hi
+	if x < 0 {
+		x += lfM
+	}
+	return x
+}
+
+// seedVec derives the initial state vector for seed, without consulting
+// the cache.
+func seedVec(seed int64, vec *[lfLen]int64) {
+	seed = seed % lfM
+	if seed < 0 {
+		seed += lfM
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	x := int32(seed)
+	for i := -20; i < lfLen; i++ {
+		x = seedrand(x)
+		if i >= 0 {
+			var u uint64
+			u = uint64(x) << 40
+			x = seedrand(x)
+			u ^= uint64(x) << 20
+			x = seedrand(x)
+			u ^= uint64(x)
+			u ^= lfCooked[i]
+			vec[i] = int64(u)
+		}
+	}
+}
+
+// Seed positions the generator at the start of the stream for seed,
+// copying the state vector from the cache when it has been derived
+// before. Repetition loops reuse run seeds heavily — each protocol
+// variant splits the same child seeds — so steady state is a hit plus a
+// 4.9 kB copy instead of ~36k LCG steps.
+func (s *lfSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = lfLen - lfTap
+	seedStates.load(seed, &s.vec)
+}
+
+// Uint64 advances the recurrence one step.
+func (s *lfSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += lfLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += lfLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 returns a non-negative 63-bit value from the stream.
+func (s *lfSource) Int63() int64 {
+	return int64(s.Uint64() & lfMask)
+}
+
+// int31 mirrors rand.Rand.Int31: the top 32 bits of Int63.
+func (s *lfSource) int31() int32 {
+	return int32(s.Int63() >> 32)
+}
+
+// seedStates caches derived state vectors, sharded 16 ways to keep
+// parallel runners off one lock. Each shard holds at most shardCap
+// vectors (16 shards × 64 × 4.9 kB ≈ 5 MB ceiling) and is cleared
+// wholesale when full — seeds recur within and across experiments, so
+// the working set re-fills almost immediately and eviction is rare.
+var seedStates seedCache
+
+const (
+	seedShards   = 16
+	seedShardCap = 64
+)
+
+type seedCache struct {
+	shards [seedShards]seedShard
+}
+
+type seedShard struct {
+	mu sync.Mutex
+	m  map[int64]*[lfLen]int64
+}
+
+func (c *seedCache) load(seed int64, dst *[lfLen]int64) {
+	sh := &c.shards[mix64(uint64(seed))&(seedShards-1)]
+	sh.mu.Lock()
+	if v, ok := sh.m[seed]; ok {
+		*dst = *v
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+	// Derive outside the lock: ~36k LCG steps is long enough to stall
+	// sibling runners, and a racing duplicate derivation is harmless
+	// (both compute the same vector).
+	seedVec(seed, dst)
+	v := new([lfLen]int64)
+	*v = *dst
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[int64]*[lfLen]int64, seedShardCap)
+	} else if len(sh.m) >= seedShardCap {
+		clear(sh.m)
+	}
+	sh.m[seed] = v
+	sh.mu.Unlock()
+}
+
+// initCooked recovers math/rand's scrambling table from the output
+// stream of rand.NewSource(1).
+//
+// After Seed(1) the library's state vector is v[i] = int64(u_i ^ C[i]),
+// where u_i is the three-word seeding value (reproducible with seedrand)
+// and C the table we want. The first 607 outputs x_j of the generator
+// visit feed slots 333,332,…,0,606,…,334 and tap slots 606,…,273,272,…,0,
+// each exactly once, with every x_j the sum of one original v slot and
+// either another original slot or an earlier output:
+//
+//	j ∈ [0,272]:    x_j = v[333-j] + v[606-j]   (both original)
+//	j ∈ [273,333]:  x_j = v[333-j] + x_{j-273}  → v[0..60]
+//	j ∈ [334,606]:  x_j = v[940-j] + x_{j-273}  → v[334..606]
+//
+// The second and third lines yield those slots directly; substituting
+// the third line's slots back into the first yields v[61..333]. XORing
+// out u_i then leaves C[i]. All arithmetic is int64 two's-complement
+// wraparound, matching the generator's own additions.
+func initCooked() {
+	src := rand.NewSource(1).(rand.Source64)
+	var x [lfLen]int64
+	for j := range x {
+		x[j] = int64(src.Uint64())
+	}
+	var v [lfLen]int64
+	for j := 273; j <= 333; j++ {
+		v[333-j] = x[j] - x[j-273]
+	}
+	for j := 334; j <= 606; j++ {
+		v[940-j] = x[j] - x[j-273]
+	}
+	for j := 0; j <= 272; j++ {
+		v[333-j] = x[j] - v[606-j]
+	}
+	// Replay the seeding LCG for seed 1 to strip u_i off each slot.
+	xs := int32(1)
+	for i := -20; i < lfLen; i++ {
+		xs = seedrand(xs)
+		if i >= 0 {
+			var u uint64
+			u = uint64(xs) << 40
+			xs = seedrand(xs)
+			u ^= uint64(xs) << 20
+			xs = seedrand(xs)
+			u ^= uint64(xs)
+			lfCooked[i] = uint64(v[i]) ^ u
+		}
+	}
+}
+
+func init() {
+	initCooked()
+}

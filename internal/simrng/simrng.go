@@ -17,13 +17,25 @@ import (
 // Source is a deterministic random source with the distribution helpers the
 // simulator needs. It is not safe for concurrent use; the discrete-event
 // kernel is single-threaded by design.
+//
+// The generator is a native reimplementation of math/rand's lagged-
+// Fibonacci source (see lfsource.go) whose stream is proven bit-identical
+// to the library's. Uniform draws go through native fast paths on the
+// state vector; the ziggurat distributions (ExpFloat64, NormFloat64) go
+// through an embedded rand.Rand wrapped around the same state, so they
+// too consume the shared stream in library order.
 type Source struct {
-	rng *rand.Rand
+	rng   *rand.Rand
+	arena *Arena // non-nil when recycled via an Arena; inherited by Split children
+	lf    lfSource
 }
 
 // New returns a Source seeded with seed.
 func New(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	s := &Source{}
+	s.lf.Seed(seed)
+	s.rng = rand.New(&s.lf)
+	return s
 }
 
 // Split derives an independent child stream. The derivation mixes the
@@ -31,8 +43,12 @@ func New(seed int64) *Source {
 // children with different labels are decorrelated from each other and from
 // the parent.
 func (s *Source) Split(label uint64) *Source {
-	base := s.rng.Uint64()
-	return &Source{rng: rand.New(rand.NewSource(int64(mix64(base ^ mix64(label)))))}
+	base := s.lf.Uint64()
+	seed := int64(mix64(base ^ mix64(label)))
+	if s.arena != nil {
+		return s.arena.New(seed)
+	}
+	return New(seed)
 }
 
 // mix64 is the SplitMix64 finalizer, a high-quality 64-bit mixing function.
@@ -43,16 +59,61 @@ func mix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Float64 returns a uniform value in [0,1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+// Float64 returns a uniform value in [0,1). The resample-on-1.0 loop
+// replicates rand.Rand.Float64 exactly (the 1.0 case needs the stream to
+// produce 1<<63-1, so it is astronomically rare but must stay identical).
+func (s *Source) Float64() float64 {
+	for {
+		f := float64(s.lf.Int63()) / (1 << 63)
+		if f != 1 {
+			return f
+		}
+	}
+}
 
 // Uniform returns a uniform value in [lo,hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.rng.Float64()
+	return lo + (hi-lo)*s.Float64()
 }
 
-// Intn returns a uniform int in [0,n). It panics if n <= 0.
-func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+// Intn returns a uniform int in [0,n), drawing exactly as rand.Rand.Intn
+// does (31-bit rejection sampling for small n, 63-bit otherwise). It
+// panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("simrng: Intn with non-positive n")
+	}
+	if n <= 1<<31-1 {
+		return int(s.int31n(int32(n)))
+	}
+	return int(s.int63n(int64(n)))
+}
+
+// int31n mirrors rand.Rand.Int31n's rejection sampling bit-for-bit.
+func (s *Source) int31n(n int32) int32 {
+	if n&(n-1) == 0 { // n is a power of two
+		return s.lf.int31() & (n - 1)
+	}
+	maxv := int32((1 << 31) - 1 - (1<<31)%uint32(n))
+	v := s.lf.int31()
+	for v > maxv {
+		v = s.lf.int31()
+	}
+	return v % n
+}
+
+// int63n mirrors rand.Rand.Int63n's rejection sampling bit-for-bit.
+func (s *Source) int63n(n int64) int64 {
+	if n&(n-1) == 0 {
+		return s.lf.Int63() & (n - 1)
+	}
+	maxv := int64((1 << 63) - 1 - (1<<63)%uint64(n))
+	v := s.lf.Int63()
+	for v > maxv {
+		v = s.lf.Int63()
+	}
+	return v % n
+}
 
 // Exponential returns an exponentially distributed value with the given
 // mean. A non-positive mean returns 0.
@@ -89,9 +150,9 @@ func (s *Source) Pareto(xm, alpha float64) float64 {
 	if xm <= 0 || alpha <= 0 {
 		return 0
 	}
-	u := s.rng.Float64()
+	u := s.Float64()
 	for u == 0 {
-		u = s.rng.Float64()
+		u = s.Float64()
 	}
 	return xm / math.Pow(u, 1/alpha)
 }
@@ -104,7 +165,7 @@ func (s *Source) Bernoulli(p float64) bool {
 	if p >= 1 {
 		return true
 	}
-	return s.rng.Float64() < p
+	return s.Float64() < p
 }
 
 // Jitter returns v scaled by a uniform factor in [1-frac, 1+frac]. It is

@@ -1,0 +1,232 @@
+// Equivalence and invalidation tests for the round-coalescing batcher.
+// They live in the external test package so they can drive a real MPTCP
+// connection (importing mptcp from package tcp would be a cycle) through
+// the test-only hooks in export_test.go.
+package tcp_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/link"
+	"repro/internal/mptcp"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// batchDigest captures everything the batcher could conceivably perturb:
+// exact float bits of the clock and per-subflow congestion state, every
+// counter, and the full JSONL trace byte stream.
+type batchDigest struct {
+	finalNow  uint64
+	delivered units.ByteSize
+	doneAt    float64
+	rounds    [2]int
+	losses    [2]int
+	bytes     [2]units.ByteSize
+	cwndBits  [2]uint64
+	srttBits  [2]uint64
+	dropped   uint64
+	trace     []byte
+}
+
+// runBatchScenario runs one seeded two-path MPTCP transfer — a WiFi path
+// whose capacity flaps under an on/off modulator (rate-epoch breaks
+// mid-batch), a lossy LTE path (per-round Bernoulli draws), and an
+// MP_PRIO suspend/resume cycle on LTE — with the given round-coalescing
+// cap, and digests the outcome.
+func runBatchScenario(seed int64, lossPct, holdCs, suspendCs uint8, sizeKB uint16, disableReset bool, batchCap int) batchDigest {
+	restore := tcp.SetMaxBatchRounds(batchCap)
+	defer restore()
+
+	eng := sim.New()
+	rec := trace.NewJSONL(trace.AllKinds, 1<<17)
+	eng.SetRecorder(rec)
+	src := simrng.New(seed)
+
+	wifiPath := &tcp.Path{
+		Name: "wifi",
+		Capacity: link.NewOnOffModulator(eng, simrng.New(seed^0x9e3779b9), units.MbpsRate(20),
+			units.MbpsRate(1), 0.05+float64(holdCs)/100, true),
+		BaseRTT: 0.02,
+	}
+	loss := float64(lossPct%20) / 100
+	ltePath := &tcp.Path{
+		Name:      "lte",
+		Capacity:  link.NewConstant(units.MbpsRate(8)),
+		BaseRTT:   0.08,
+		ExtraLoss: func() float64 { return loss },
+	}
+
+	opts := mptcp.DefaultOptions()
+	opts.SubflowConfig.DisableIdleCwndReset = disableReset
+	conn := mptcp.New(eng, src, opts)
+	conn.AddSubflow("wifi", energy.WiFi, wifiPath, nil, 0)
+	lte := conn.AddSubflow("lte", energy.LTE, ltePath, nil, 0.02)
+
+	var doneAt float64 = -1
+	conn.Download(units.ByteSize(sizeKB%2048+64)*units.KB, func(at float64) { doneAt = at })
+
+	// An MP_PRIO flip lands mid-transfer (and, with a live batch open on
+	// the other subflow, mid-batch), then lifts again later.
+	suspendAt := 0.1 + float64(suspendCs)/50
+	eng.Schedule(suspendAt, func() { conn.SetBackup(lte, true) })
+	eng.Schedule(suspendAt+0.4, func() { conn.SetBackup(lte, false) })
+
+	eng.Horizon = 120
+	eng.Run()
+
+	d := batchDigest{
+		finalNow:  math.Float64bits(eng.Now()),
+		delivered: conn.Delivered(),
+		doneAt:    doneAt,
+		dropped:   rec.Dropped(),
+	}
+	for i, sf := range conn.Subflows() {
+		d.rounds[i] = sf.Rounds
+		d.losses[i] = sf.Losses
+		d.bytes[i] = sf.BytesDelivered
+		d.cwndBits[i] = math.Float64bits(sf.Cwnd())
+		d.srttBits[i] = math.Float64bits(sf.SRTT())
+	}
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	d.trace = buf.Bytes()
+	return d
+}
+
+// FuzzBatchedRoundEquivalence checks the batcher's core promise: with
+// coalescing enabled, every run is bit-identical — counters, float bits,
+// and the JSONL trace byte stream — to the same run with every round
+// completion going through the event heap.
+func FuzzBatchedRoundEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint8(0), uint16(512), false)
+	f.Add(int64(2), uint8(5), uint8(20), uint8(10), uint16(1024), true)
+	f.Add(int64(99), uint8(19), uint8(3), uint8(60), uint16(100), false)
+	f.Add(int64(-7), uint8(10), uint8(90), uint8(120), uint16(2000), true)
+	f.Add(int64(424242), uint8(1), uint8(50), uint8(0), uint16(64), false)
+	f.Fuzz(func(t *testing.T, seed int64, lossPct, holdCs, suspendCs uint8, sizeKB uint16, disableReset bool) {
+		batched := runBatchScenario(seed, lossPct, holdCs, suspendCs, sizeKB, disableReset, 64)
+		plain := runBatchScenario(seed, lossPct, holdCs, suspendCs, sizeKB, disableReset, 0)
+		if batched.finalNow != plain.finalNow {
+			t.Errorf("final clock bits differ: batched %x, unbatched %x", batched.finalNow, plain.finalNow)
+		}
+		if batched.delivered != plain.delivered || batched.doneAt != plain.doneAt {
+			t.Errorf("delivery differs: batched (%v, done %v), unbatched (%v, done %v)",
+				batched.delivered, batched.doneAt, plain.delivered, plain.doneAt)
+		}
+		for i := 0; i < 2; i++ {
+			if batched.rounds[i] != plain.rounds[i] || batched.losses[i] != plain.losses[i] ||
+				batched.bytes[i] != plain.bytes[i] {
+				t.Errorf("subflow %d counters differ: batched (%d rounds, %d losses, %v), unbatched (%d, %d, %v)",
+					i, batched.rounds[i], batched.losses[i], batched.bytes[i],
+					plain.rounds[i], plain.losses[i], plain.bytes[i])
+			}
+			if batched.cwndBits[i] != plain.cwndBits[i] || batched.srttBits[i] != plain.srttBits[i] {
+				t.Errorf("subflow %d float bits differ: cwnd %x vs %x, srtt %x vs %x",
+					i, batched.cwndBits[i], plain.cwndBits[i], batched.srttBits[i], plain.srttBits[i])
+			}
+		}
+		if batched.dropped != plain.dropped {
+			t.Fatalf("trace drop counts differ: batched %d, unbatched %d", batched.dropped, plain.dropped)
+		}
+		if !bytes.Equal(batched.trace, plain.trace) {
+			i := 0
+			for i < len(batched.trace) && i < len(plain.trace) && batched.trace[i] == plain.trace[i] {
+				i++
+			}
+			t.Errorf("trace streams diverge at byte %d (batched %d bytes, unbatched %d bytes)",
+				i, len(batched.trace), len(plain.trace))
+		}
+	})
+}
+
+// Every batch-invalidation source must reach the requester's batchBroken
+// flag (run this under -race in CI: the flag and the structures around it
+// are engine-single-threaded, and the test documents that contract).
+func TestBatchInvalidationHooks(t *testing.T) {
+	newConn := func(jitter float64) (*sim.Engine, *mptcp.Connection, *tcp.Subflow, *tcp.Subflow) {
+		eng := sim.New()
+		src := simrng.New(7)
+		opts := mptcp.DefaultOptions()
+		opts.SubflowConfig.RTTJitter = jitter
+		conn := mptcp.New(eng, src, opts)
+		wifi := conn.AddSubflow("wifi", energy.WiFi,
+			&tcp.Path{Name: "wifi", Capacity: link.NewConstant(units.MbpsRate(10)), BaseRTT: 0.02}, nil, 0)
+		lte := conn.AddSubflow("lte", energy.LTE,
+			&tcp.Path{Name: "lte", Capacity: link.NewConstant(units.MbpsRate(10)), BaseRTT: 0.2}, nil, 0)
+		return eng, conn, wifi, lte
+	}
+
+	t.Run("suspend", func(t *testing.T) {
+		_, _, wifi, _ := newConn(0)
+		wifi.ResetBatchBroken()
+		wifi.Suspend()
+		if !wifi.BatchBroken() {
+			t.Error("Suspend did not invalidate the batch")
+		}
+	})
+
+	t.Run("resume", func(t *testing.T) {
+		_, _, wifi, _ := newConn(0)
+		wifi.Suspend()
+		wifi.ResetBatchBroken()
+		wifi.Resume()
+		if !wifi.BatchBroken() {
+			t.Error("Resume did not invalidate the batch")
+		}
+	})
+
+	t.Run("subflow-join", func(t *testing.T) {
+		eng, conn, wifi, lte := newConn(0)
+		_ = eng
+		wifi.ResetBatchBroken()
+		lte.ResetBatchBroken()
+		conn.AddSubflow("lte2", energy.LTE,
+			&tcp.Path{Name: "lte2", Capacity: link.NewConstant(units.MbpsRate(5)), BaseRTT: 0.1}, nil, 0)
+		if !wifi.BatchBroken() || !lte.BatchBroken() {
+			t.Error("AddSubflow did not invalidate sibling batches")
+		}
+	})
+
+	t.Run("scheduler-defer", func(t *testing.T) {
+		eng, conn, wifi, lte := newConn(0) // zero jitter: SRTT == BaseRTT exactly
+		eng.Run()                          // complete both handshakes; no data yet
+		wifi.ResetBatchBroken()
+		lte.ResetBatchBroken()
+		// Leave less than one LTE window beyond what WiFi grabs first:
+		// kickAll serves WiFi (creation order), then LTE sees scarce data
+		// and a lower-SRTT peer, hits the min-RTT defer branch, and must
+		// break its batch.
+		wifiWant := units.ByteSize(wifi.Cwnd()) * tcp.DefaultConfig().MSS
+		conn.Download(wifiWant+units.KB, func(float64) {})
+		if !lte.BatchBroken() {
+			t.Error("scheduler deferral did not invalidate the requester's batch")
+		}
+	})
+
+	t.Run("rate-epoch", func(t *testing.T) {
+		eng := sim.New()
+		p := &tcp.Path{Name: "tr", Capacity: link.NewTrace(eng, []link.Breakpoint{
+			{At: 0, Rate: units.MbpsRate(10)},
+			{At: 1, Rate: units.MbpsRate(2)},
+		}), BaseRTT: 0.02}
+		p.EnsureRateHook()
+		before := p.Epoch()
+		eng.RunUntil(2)
+		if p.Epoch() == before {
+			t.Error("capacity rate change did not bump the path epoch")
+		}
+	})
+
+	// The sixth source — scenario's radioControl.Activate — loops the same
+	// Subflow.InvalidateBatch over every connection; internal/scenario's
+	// regression and fuzz suites exercise it on every EMPTCP run.
+}

@@ -1,0 +1,26 @@
+package tcp
+
+// SetMaxBatchRounds overrides the inline round-coalescing cap for tests,
+// returning a func that restores the previous value. A cap of zero
+// disables coalescing entirely: every round completion re-enters the
+// engine through the event heap, which is the reference behaviour the
+// batched path must reproduce bit for bit.
+func SetMaxBatchRounds(n int) (restore func()) {
+	old := maxBatchRounds
+	maxBatchRounds = n
+	return func() { maxBatchRounds = old }
+}
+
+// BatchBroken exposes the batch-invalidation flag so tests can verify
+// that every invalidation source actually reaches the batcher.
+func (sf *Subflow) BatchBroken() bool { return sf.batchBroken }
+
+// ResetBatchBroken clears the batch-invalidation flag so a test can watch
+// it flip for one specific invalidation source.
+func (sf *Subflow) ResetBatchBroken() { sf.batchBroken = false }
+
+// Epoch exposes the path's capacity-rate-change counter.
+func (p *Path) Epoch() uint64 { return p.epoch }
+
+// EnsureRateHook exposes the one-time rate-observer registration.
+func (p *Path) EnsureRateHook() { p.ensureRateHook() }

@@ -68,6 +68,31 @@ type Path struct {
 	ExtraLoss func() float64
 
 	active int // subflows with a round in progress
+
+	// epoch counts capacity-rate changes. The round batcher snapshots it
+	// when a batch opens and falls back to the heap when it moves, so a
+	// modulator/interferer/handover rate flip always breaks the batch even
+	// if it somehow produced no earlier-ordered event. hooked guards the
+	// one-time observer registration.
+	epoch  uint64
+	hooked bool
+
+	// lossProc caches the Capacity's LossProcess assertion: LossProb runs
+	// once per round, and the dynamic type of Capacity never changes over
+	// a Path's lifetime.
+	lossProc    link.LossProcess
+	lossChecked bool
+}
+
+// ensureRateHook registers (once) a capacity observer that bumps the
+// path's rate-change epoch. The observer has no observable side effects —
+// it exists purely so the batch loop can detect mid-batch rate changes.
+func (p *Path) ensureRateHook() {
+	if p.hooked || p.Capacity == nil {
+		return
+	}
+	p.hooked = true
+	p.Capacity.OnChange(func(units.BitRate) { p.epoch++ })
 }
 
 // LossProb returns the path's current per-packet random loss probability.
@@ -75,8 +100,12 @@ func (p *Path) LossProb() float64 {
 	if p.ExtraLoss != nil {
 		return p.ExtraLoss()
 	}
-	if lp, ok := p.Capacity.(link.LossProcess); ok {
-		return lp.LossProb()
+	if !p.lossChecked {
+		p.lossChecked = true
+		p.lossProc, _ = p.Capacity.(link.LossProcess)
+	}
+	if p.lossProc != nil {
+		return p.lossProc.LossProb()
 	}
 	return 0
 }
@@ -135,6 +164,28 @@ type DataSource interface {
 
 // Subflow is one TCP flow over a Path.
 type Subflow struct {
+	// The congestion state leads the struct so it shares the first cache
+	// line: the LIA coupling loop reads state, cwnd, srtt, and suspended
+	// from every sibling subflow on every congestion-avoidance round, and
+	// sibling structs are usually cold by then.
+	state    State
+	cwnd     float64 // segments
+	ssthresh float64 // segments
+	srtt     float64 // smoothed RTT estimate, seconds
+
+	suspended bool
+	inRound   bool
+	everSent  bool
+	// batchBroken is set by InvalidateBatch and forces the round batcher
+	// to fall back to the event heap at the next round boundary. It is a
+	// defense-in-depth hook: CanFireInline alone already guarantees
+	// ordering, because every invalidation source is either event-driven
+	// (and an earlier event blocks inlining) or synchronous inside the
+	// round body (and thus sequenced identically either way).
+	batchBroken bool
+
+	lastSendAt float64 // end of the most recent active round
+
 	// ID tags the subflow for logs and scheduling.
 	ID string
 	// Meta carries caller-defined context (the MPTCP layer stores the
@@ -146,16 +197,6 @@ type Subflow struct {
 	path   *Path
 	cfg    Config
 	source DataSource
-
-	state    State
-	cwnd     float64 // segments
-	ssthresh float64 // segments
-	srtt     float64 // smoothed RTT estimate, seconds
-
-	suspended  bool
-	inRound    bool
-	lastSendAt float64 // end of the most recent active round
-	everSent   bool
 
 	// HandshakeRTT is the RTT measured during establishment (the paper
 	// uses it to set the bandwidth-predictor sampling interval δ).
@@ -188,6 +229,7 @@ type roundState struct {
 	n         units.ByteSize
 	dur       float64
 	lost      bool
+	def       sim.Deferred // reserved engine slot while the round is deferred
 	endFn     func()
 	timeoutFn func()
 }
@@ -262,7 +304,7 @@ func (sf *Subflow) rtt() float64 {
 
 // rto returns the current retransmission timeout.
 func (sf *Subflow) rto() float64 {
-	return math.Max(sf.cfg.MinRTO, 2*sf.srtt)
+	return max(sf.cfg.MinRTO, 2*sf.srtt)
 }
 
 // Connect starts the three-way handshake, taking extraDelay seconds before
@@ -303,9 +345,21 @@ func (sf *Subflow) established() {
 // per deferral. Any number of arms may be outstanding at once.
 func (sf *Subflow) KickFunc() func() { return sf.kickFn }
 
+// InvalidateBatch asks the round batcher to stop coalescing at the next
+// round boundary and re-enter the engine through the event heap. Layers
+// above call it whenever subflow-external state changes mid-round — an
+// MP_PRIO flip, a subflow join, a scheduler deferral, a radio-state
+// change — as a belt-and-braces guarantee on top of the engine-level
+// CanFireInline ordering check. Calling it outside a batch is a cheap
+// no-op (the flag is cleared when the next batch opens).
+func (sf *Subflow) InvalidateBatch() { sf.batchBroken = true }
+
 // Suspend places the subflow in backup mode (the MP_PRIO low-priority
 // signal): it finishes the round in flight and then requests no more data.
-func (sf *Subflow) Suspend() { sf.suspended = true }
+func (sf *Subflow) Suspend() {
+	sf.suspended = true
+	sf.InvalidateBatch()
+}
 
 // Resume lifts backup mode. Per RFC 2861, a window that sat idle longer
 // than the RTO collapses back to the initial window — unless the
@@ -318,6 +372,7 @@ func (sf *Subflow) Resume() {
 		return
 	}
 	sf.suspended = false
+	sf.InvalidateBatch()
 	sf.applyIdleReset()
 	if sf.cfg.DisableIdleCwndReset {
 		sf.srtt = 1e-3 // §3.6: report ~zero RTT until data rounds re-measure it
@@ -332,7 +387,7 @@ func (sf *Subflow) Kick() {
 		return
 	}
 	sf.applyIdleReset()
-	sf.startRound()
+	sf.startRound(false)
 }
 
 // applyIdleReset implements RFC 2861: reset cwnd after an idle period
@@ -348,11 +403,22 @@ func (sf *Subflow) applyIdleReset() {
 }
 
 // startRound begins one transmission round.
-func (sf *Subflow) startRound() {
+//
+// When deferOK is true (only the round batcher passes it), a live round's
+// completion is not pushed onto the event heap: its engine slot — fire
+// time plus reserved sequence number — is parked in r.def and the round
+// record is returned, so the batcher can either run it inline or commit
+// it to the heap later. The reservation draws the same sequence number
+// and emits the same schedule trace event a real After would, keeping
+// event ordering and traces bit-identical. Dead-path timeouts always go
+// through the heap: a round that moves no data gains nothing from
+// coalescing, and the RTO window is long enough that a foreign event
+// almost always intervenes anyway.
+func (sf *Subflow) startRound(deferOK bool) *roundState {
 	want := units.ByteSize(sf.cwnd) * sf.cfg.MSS
 	n := sf.source.Request(sf, want)
 	if n <= 0 {
-		return // idle until Kick
+		return nil // idle until Kick
 	}
 	sf.inRound = true
 	sf.everSent = true
@@ -368,21 +434,31 @@ func (sf *Subflow) startRound() {
 		// returned (the sender would retransmit; the connection may
 		// reinject it on another subflow) and the window collapses.
 		sf.eng.After(sf.rto(), r.timeoutFn)
-		return
+		return nil
 	}
 
 	offered := units.BitRate(n.Bits() / rtt)
 	congested := offered > share
 	// Round duration: the self-clocked RTT, stretched when the pipe
 	// cannot carry a full window per RTT.
-	dur := math.Max(rtt, n.Bits()/float64(share))
+	dur := max(rtt, n.Bits()/float64(share))
 
-	// Random per-packet loss aggregated to a per-round loss event.
-	pkts := math.Max(1, float64(n)/float64(sf.cfg.MSS))
-	pRound := 1 - math.Pow(1-sf.path.LossProb(), pkts)
+	// Random per-packet loss aggregated to a per-round loss event. The
+	// lossless case short-circuits: math.Pow(1, pkts) is exactly 1, so
+	// pRound is exactly 0 and Bernoulli(0) draws nothing either way.
+	var pRound float64
+	if lp := sf.path.LossProb(); lp != 0 {
+		pkts := max(1, float64(n)/float64(sf.cfg.MSS))
+		pRound = 1 - math.Pow(1-lp, pkts)
+	}
 	r.lost = congested || sf.src.Bernoulli(pRound)
 	r.dur = dur
+	if deferOK {
+		r.def = sf.eng.DeferAfter(dur)
+		return r
+	}
 	sf.eng.After(dur, r.endFn)
+	return nil
 }
 
 // timeout ends a dead-path round after a full RTO.
@@ -393,7 +469,7 @@ func (r *roundState) timeout() {
 	sf.inRound = false
 	sf.Losses++
 	sf.cwnd = sf.cfg.InitialWindow
-	sf.ssthresh = math.Max(sf.ssthresh/2, 2)
+	sf.ssthresh = max(sf.ssthresh/2, 2)
 	sf.lastSendAt = sf.eng.Now()
 	if rec := sf.eng.Recorder(); rec != nil {
 		rec.Record(trace.Event{
@@ -403,12 +479,49 @@ func (r *roundState) timeout() {
 	}
 	sf.source.Returned(sf, n)
 	// Retry while data remains queued for us.
-	sf.startRound()
+	sf.startRound(false)
 }
 
-// end completes one transmission round.
+// maxBatchRounds caps how many rounds one fired event may execute inline.
+// The cap bounds clock drift between re-entries into the engine, keeping
+// the batcher honest without affecting output (every coalesced round runs
+// at exactly the virtual time it would have run unbatched).
+var maxBatchRounds = 64
+
+// end is the round-completion event body — and the round batcher. The
+// engine fires it once; it then executes up to maxBatchRounds rounds
+// inline, as long as each round's completion is provably the very next
+// event the engine would dispatch (CanFireInline), nothing invalidated
+// the batch (InvalidateBatch, a capacity-rate epoch bump), and the cap
+// has not been hit. Every coalesced round performs identical arithmetic,
+// RNG draws, trace emissions, and source callbacks at identical virtual
+// times; only the k−1 heap pushes/pops and engine Step round-trips are
+// skipped.
 func (r *roundState) end() {
-	sf, n, dur, lost := r.sf, r.n, r.dur, r.lost
+	sf := r.sf
+	sf.batchBroken = false
+	sf.path.ensureRateHook()
+	epoch := sf.path.epoch
+	for k := 0; ; k++ {
+		next := sf.finishRound(r)
+		if next == nil {
+			return // subflow idle, suspended, or on the dead-path timer
+		}
+		r = next
+		if k >= maxBatchRounds || sf.batchBroken || sf.path.epoch != epoch ||
+			!sf.eng.TryFireInline(r.def) {
+			sf.eng.CommitDeferred(r.def, r.endFn)
+			return
+		}
+	}
+}
+
+// finishRound completes one transmission round and, when the subflow
+// stays busy, starts the next one in deferred form, returning its record
+// for the batcher to dispatch. It is the exact body the per-round event
+// callback had before batching.
+func (sf *Subflow) finishRound(r *roundState) *roundState {
+	n, dur, lost := r.n, r.dur, r.lost
 	sf.putRound(r)
 	sf.path.active--
 	sf.inRound = false
@@ -419,15 +532,15 @@ func (r *roundState) end() {
 
 	if lost {
 		sf.Losses++
-		sf.ssthresh = math.Max(sf.cwnd/2, 2)
+		sf.ssthresh = max(sf.cwnd/2, 2)
 		sf.cwnd = sf.ssthresh // fast recovery, not timeout
 	} else if sf.cwnd < sf.ssthresh {
-		sf.cwnd = math.Min(sf.cwnd*2, sf.ssthresh) // slow start
+		sf.cwnd = min(sf.cwnd*2, sf.ssthresh) // slow start
 	} else {
 		sf.cwnd += sf.source.IncreasePerRTT(sf) // congestion avoidance
 	}
-	sf.cwnd = math.Min(sf.cwnd, sf.cfg.MaxWindow)
-	sf.cwnd = math.Max(sf.cwnd, 1)
+	sf.cwnd = min(sf.cwnd, sf.cfg.MaxWindow)
+	sf.cwnd = max(sf.cwnd, 1)
 	if rec := sf.eng.Recorder(); rec != nil {
 		if lost {
 			rec.Record(trace.Event{
@@ -447,8 +560,9 @@ func (r *roundState) end() {
 	sf.BytesDelivered += n
 	sf.source.Delivered(sf, n)
 	if !sf.suspended {
-		sf.startRound()
+		return sf.startRound(true)
 	}
+	return nil
 }
 
 // Throughput returns the subflow's smoothed current goodput estimate:
