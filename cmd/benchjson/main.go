@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -158,6 +159,7 @@ func compare(path string, results map[string]Result, stdout, stderr io.Writer) i
 	}
 	fmt.Fprintf(stdout, "%-*s  %12s  %12s  %8s  %s\n", w, "benchmark", "base ns/op", "new ns/op", "Δns/op", "allocs")
 	failed := false
+	logSum, shared := 0.0, 0
 	for _, n := range names {
 		b, inBase := base[n]
 		r, inNew := results[n]
@@ -175,7 +177,17 @@ func compare(path string, results map[string]Result, stdout, stderr io.Writer) i
 			}
 			fmt.Fprintf(stdout, "%-*s  %12.1f  %12.1f  %+7.1f%%  %d -> %d%s\n",
 				w, n, b.NsPerOp, r.NsPerOp, delta*100, b.AllocsPerOp, r.AllocsPerOp, mark)
+			if b.NsPerOp > 0 && r.NsPerOp > 0 {
+				logSum += math.Log(b.NsPerOp / r.NsPerOp)
+				shared++
+			}
 		}
+	}
+	if shared > 0 {
+		// Geometric mean of per-benchmark speedups (base/new): >1.00x means
+		// the new run is faster overall, and no single benchmark dominates.
+		fmt.Fprintf(stdout, "%-*s  geomean speedup over %d shared: %.2fx\n",
+			w, "", shared, math.Exp(logSum/float64(shared)))
 	}
 	if failed {
 		fmt.Fprintf(stderr, "benchjson: ns/op regression beyond %.0f%% against %s\n", regressionLimit*100, path)

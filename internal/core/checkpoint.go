@@ -1,0 +1,125 @@
+package core
+
+import (
+	"repro/internal/eib"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// TickRecord is the controller's view of one tick, emitted through
+// Controller.Probe. Pre-establishment ticks carry the delayed-establishment
+// inputs; post-establishment ticks (Control true) carry the path-usage
+// decision. The sweep-fork executor replays these records offline against
+// a variant parameterisation to find the first tick whose outcome would
+// differ — the divergence point.
+type TickRecord struct {
+	At          float64
+	WiFiBytes   units.ByteSize
+	TauFired    bool
+	Idle        bool
+	Wifi        units.BitRate
+	LTE         units.BitRate
+	EIBWiFiOnly bool
+	HoldsFloor  bool
+	// Established reports this tick's establishment decision on
+	// pre-establishment ticks, and stays true on Control ticks.
+	Established bool
+	// Control marks a post-establishment path-usage tick.
+	Control bool
+	Current energy.PathSet
+	// Next is the path set the §3.4 controller selected (Control ticks).
+	Next    energy.PathSet
+	Backlog units.ByteSize
+}
+
+// SetKappa overrides the delayed-establishment byte threshold in place.
+// The fork executor applies it to a restored controller at the divergence
+// barrier; κ is only read on pre-establishment ticks, so the shared prefix
+// is unaffected by construction.
+func (c *Controller) SetKappa(k units.ByteSize) { c.cfg.Kappa = k }
+
+// ForceTauFired marks the τ escape timer as elapsed and cancels the
+// pending timer event. A fork whose τ is shorter than the base run's
+// diverges at a tick where the base timer has not yet fired — the variant
+// behaves as if its own (already elapsed) timer had, and the base timer
+// must never fire inside the fork.
+func (c *Controller) ForceTauFired() {
+	c.tauFired = true
+	c.tauEv.Cancel()
+}
+
+// SetTable swaps the energy information base. Table.Best (the only
+// pre-establishment query) is independent of the hysteresis safety factor,
+// so forks sweeping SafetyFactor share the prefix up to the first
+// post-establishment decision that differs.
+func (c *Controller) SetTable(t *eib.Table) { c.table = t }
+
+// Table returns the controller's energy information base.
+func (c *Controller) Table() *eib.Table { return c.table }
+
+// predState is one predictor's saved sampling state.
+type predState struct {
+	level     float64
+	trend     float64
+	n         int
+	lastBytes units.ByteSize
+	seeded    bool
+}
+
+// CtlSnapshot is a reusable copy of a Controller's mutable state,
+// including the swept tunables (config, EIB table) so restoring undoes a
+// previous fork's mutation.
+type CtlSnapshot struct {
+	cfg        Config
+	table      *eib.Table
+	current    energy.PathSet
+	tauFired   bool
+	hadBacklog bool
+	lteSF      bool // whether the cellular subflow existed
+	switches   int
+	nDecisions int
+	preds      [energy.NumInterfaces]predState
+}
+
+// Snapshot saves the controller's state into s.
+func (c *Controller) Snapshot(s *CtlSnapshot) {
+	s.cfg = c.cfg
+	s.table = c.table
+	s.current = c.current
+	s.tauFired = c.tauFired
+	s.hadBacklog = c.hadBacklog
+	s.lteSF = c.lteSF != nil
+	s.switches = c.Switches
+	s.nDecisions = len(c.Decisions)
+	for i, p := range c.preds {
+		st := &s.preds[i]
+		st.level, st.trend, st.n = p.hw.State()
+		st.lastBytes = p.lastBytes
+		st.seeded = p.seeded
+	}
+}
+
+// Restore reinstates a snapshot taken from this controller. The fork
+// executor only checkpoints before the cellular subflow exists (divergence
+// barriers precede establishment or the subflow survives across them), so
+// restoring to a pre-establishment snapshot clears lteSF and the next
+// establishment re-derives it; a post-establishment snapshot keeps the
+// pointer, which the tcp arena restore rewinds in place.
+func (c *Controller) Restore(s *CtlSnapshot) {
+	c.cfg = s.cfg
+	c.table = s.table
+	c.current = s.current
+	c.tauFired = s.tauFired
+	c.hadBacklog = s.hadBacklog
+	if !s.lteSF {
+		c.lteSF = nil
+	}
+	c.Switches = s.switches
+	c.Decisions = c.Decisions[:s.nDecisions]
+	for i, p := range c.preds {
+		st := &s.preds[i]
+		p.hw.SetState(st.level, st.trend, st.n)
+		p.lastBytes = st.lastBytes
+		p.seeded = st.seeded
+	}
+}

@@ -1,0 +1,88 @@
+package energy
+
+import "repro/internal/units"
+
+// radioState saves one Radio's integrator state. The Iface/Params wiring,
+// the attached recorder, and the memo caches' invariants are all
+// value-copied or stable: lastDt/lastSec are saved too, so the memoized
+// interval conversion replays bit-identically after a restore.
+type radioState struct {
+	state      RRCState
+	now        float64
+	promoEnd   float64
+	tailEnd    float64
+	fachEnd    float64
+	associated bool
+	quality    float64
+	energy     units.Energy
+	lastDt     float64
+	lastSec    float64
+	stateSince float64
+}
+
+// AcctSnapshot is a reusable copy of an Accountant's integrator state
+// (device base plus every radio). The profile, radio wiring, and Trace
+// hook are not part of it.
+type AcctSnapshot struct {
+	now         float64
+	base        units.Energy
+	baseOn      bool
+	extraBase   units.Power
+	lastBaseP   units.Power
+	lastBaseDt  float64
+	lastBaseInc units.Energy
+	radios      [NumInterfaces]radioState
+}
+
+// Snapshot saves the accountant's state into s.
+func (a *Accountant) Snapshot(s *AcctSnapshot) {
+	s.now = a.now
+	s.base = a.base
+	s.baseOn = a.baseOn
+	s.extraBase = a.extraBase
+	s.lastBaseP = a.lastBaseP
+	s.lastBaseDt = a.lastBaseDt
+	s.lastBaseInc = a.lastBaseInc
+	for i := 0; i < NumInterfaces; i++ {
+		r := a.radios[i]
+		s.radios[i] = radioState{
+			state:      r.state,
+			now:        r.now,
+			promoEnd:   r.promoEnd,
+			tailEnd:    r.tailEnd,
+			fachEnd:    r.fachEnd,
+			associated: r.associated,
+			quality:    r.quality,
+			energy:     r.energy,
+			lastDt:     r.lastDt,
+			lastSec:    r.lastSec,
+			stateSince: r.stateSince,
+		}
+	}
+}
+
+// Restore reinstates a snapshot taken from this accountant.
+func (a *Accountant) Restore(s *AcctSnapshot) {
+	a.now = s.now
+	a.base = s.base
+	a.baseOn = s.baseOn
+	a.extraBase = s.extraBase
+	a.lastBaseP = s.lastBaseP
+	a.lastBaseDt = s.lastBaseDt
+	a.lastBaseInc = s.lastBaseInc
+	for i := 0; i < NumInterfaces; i++ {
+		r := a.radios[i]
+		st := &s.radios[i]
+		r.state = st.state
+		r.now = st.now
+		r.promoEnd = st.promoEnd
+		r.tailEnd = st.tailEnd
+		r.fachEnd = st.fachEnd
+		r.associated = st.associated
+		r.quality = st.quality
+		r.energy = st.energy
+		r.lastDt = st.lastDt
+		r.lastSec = st.lastSec
+		r.stateSince = st.stateSince
+	}
+}

@@ -43,6 +43,10 @@ type Config struct {
 	// simulate each distinct (scenario, protocol, seed, options) run
 	// once. Tables are byte-identical with the cache on or off.
 	Cache *scenario.RunCache
+	// NoFork disables checkpoint/fork prefix sharing for sweep families,
+	// simulating every sweep point in full. Output is byte-identical
+	// either way; forking only changes wall-clock time.
+	NoFork bool
 }
 
 func (c Config) device() *energy.DeviceProfile {
@@ -96,6 +100,35 @@ func repeatRuns[T any](cfg Config, n int, mk func(i int, opt scenario.Opts) T) [
 	return runner.Map(cfg.pool(), n, func(i int) T {
 		return mk(i, scenario.Opts{Recorder: batch.Recorder(i), Cache: cfg.Cache})
 	})
+}
+
+// sweepRuns evaluates one sweep family — len(points) parameterisations ×
+// nSeeds seeded repetitions — and returns results point-major
+// (results[p*nSeeds+s]), the layout the sweep tables consume. Each seed's
+// points form one prefix-shared fork tree (scenario.RunSweep) and one
+// worker-pool item, so seeds parallelize under -j while forks within a
+// tree stay sequential on one RunState. Results are bit-identical to
+// running every point individually; tracing (which observes runs in-line)
+// and NoFork fall back to exactly that, with the same recorder numbering
+// as any other point-major grid.
+func sweepRuns(cfg Config, nSeeds int, base scenario.Scenario, points []scenario.SweepPoint) []scenario.Result {
+	if cfg.Trace != nil || cfg.NoFork {
+		return repeatRuns(cfg, len(points)*nSeeds, func(j int, opt scenario.Opts) scenario.Result {
+			opt.Seed = cfg.BaseSeed + int64(j%nSeeds)
+			return scenario.Run(points[j/nSeeds].Scenario, scenario.EMPTCP, opt)
+		})
+	}
+	trees := runner.Map(cfg.pool(), nSeeds, func(s int) []scenario.Result {
+		return scenario.RunSweep(base, points, scenario.EMPTCP,
+			scenario.Opts{Seed: cfg.BaseSeed + int64(s), Cache: cfg.Cache})
+	})
+	out := make([]scenario.Result, len(points)*nSeeds)
+	for s, tree := range trees {
+		for p := range points {
+			out[p*nSeeds+s] = tree[p]
+		}
+	}
+	return out
 }
 
 // Output is what an experiment produces.

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/forecast"
 	"repro/internal/link"
@@ -299,14 +298,14 @@ func runExtSweep(cfg Config) *Output {
 	tk := report.NewTable("κ sweep — 256 KB downloads over 4 Mbps WiFi / 4.5 Mbps LTE",
 		"κ", "LTE established (runs)", "Mean energy (J)")
 	kappas := []float64{64, 256, 1024, 4096}
-	kRuns := repeatRuns(cfg, len(kappas)*runs, func(j int, opt scenario.Opts) scenario.Result {
-		coreCfg := core.DefaultConfig()
-		coreCfg.Kappa = units.ByteSize(kappas[j/runs]) * units.KB
-		sc := scenario.StaticLab(cfg.device(), 4, 4.5, workload.FileDownload{Size: 256 * units.KB})
-		sc.CoreConfig = &coreCfg
-		opt.Seed = cfg.BaseSeed + int64(j%runs)
-		return scenario.Run(sc, scenario.EMPTCP, opt)
-	})
+	kappaBytes := make([]units.ByteSize, len(kappas))
+	for i, k := range kappas {
+		kappaBytes[i] = units.ByteSize(k) * units.KB
+	}
+	kBase, kPoints := scenario.KappaSweep(
+		scenario.StaticLab(cfg.device(), 4, 4.5, workload.FileDownload{Size: 256 * units.KB}),
+		kappaBytes)
+	kRuns := sweepRuns(cfg, runs, kBase, kPoints)
 	for ki, kappaKB := range kappas {
 		lteRuns := 0
 		var es []float64
@@ -327,14 +326,10 @@ func runExtSweep(cfg Config) *Output {
 	tt := report.NewTable("τ sweep — 8 MB downloads over 0.5 Mbps WiFi / 4.5 Mbps LTE",
 		"τ (s)", "Mean completion (s)", "Mean energy (J)")
 	taus := []float64{1, 3, 6, 12}
-	tRuns := repeatRuns(cfg, len(taus)*runs, func(j int, opt scenario.Opts) scenario.Result {
-		coreCfg := core.DefaultConfig()
-		coreCfg.Tau = taus[j/runs]
-		sc := scenario.StaticLab(cfg.device(), 0.5, 4.5, workload.FileDownload{Size: 8 * units.MB})
-		sc.CoreConfig = &coreCfg
-		opt.Seed = cfg.BaseSeed + int64(j%runs)
-		return scenario.Run(sc, scenario.EMPTCP, opt)
-	})
+	tBase, tPoints := scenario.TauSweep(
+		scenario.StaticLab(cfg.device(), 0.5, 4.5, workload.FileDownload{Size: 8 * units.MB}),
+		taus)
+	tRuns := sweepRuns(cfg, runs, tBase, tPoints)
 	for ti, tau := range taus {
 		var ts, es []float64
 		for _, r := range tRuns[ti*runs : (ti+1)*runs] {

@@ -1,0 +1,220 @@
+// Checkpoint support for bandwidth processes. Every process the scenario
+// library constructs implements Snapshotter, so the sweep-fork executor
+// can rewind link state alongside the event heap. The RNG streams behind
+// the stochastic processes are restored separately (simrng.Arena), and
+// ticker-driven processes (MobileWiFi, MultiAPWiFi, Trace) need only
+// their own cursors saved — their pending events come back with the
+// engine heap.
+package link
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Snapshotter is implemented by processes that can save and restore their
+// mutable state for checkpoint/fork. SnapshotState writes into prev when
+// prev came from an earlier call on the same process (reuse keeps steady
+// state allocation-free) and returns the snapshot; RestoreState reinstates
+// one.
+type Snapshotter interface {
+	SnapshotState(prev any) any
+	RestoreState(st any)
+}
+
+// baseState saves the observable rate and the observer-list length.
+// Restoring assigns the rate directly — no change notification fires, the
+// restored heap replays whatever notifications the prefix had already
+// delivered. Observers registered after the snapshot (a fork re-hooking a
+// rate callback it believes unhooked) are dropped so they cannot stack up
+// across forks.
+type baseState struct {
+	rate units.BitRate
+	nObs int
+}
+
+func (b *base) snap(s *baseState) {
+	s.rate = b.rate
+	s.nObs = len(b.observers)
+}
+
+func (b *base) restore(s *baseState) {
+	b.rate = s.rate
+	b.observers = b.observers[:s.nObs]
+}
+
+type constantState struct{ baseState }
+
+// SnapshotState implements Snapshotter.
+func (c *Constant) SnapshotState(prev any) any {
+	s, _ := prev.(*constantState)
+	if s == nil {
+		s = new(constantState)
+	}
+	c.snap(&s.baseState)
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (c *Constant) RestoreState(st any) { c.restore(&st.(*constantState).baseState) }
+
+type onOffState struct {
+	baseState
+	on bool
+	ev sim.Event
+}
+
+// SnapshotState implements Snapshotter. The on/off process state is saved
+// as-is: NextToggle flips it one transition ahead of the pending toggle
+// event, and that pending event is restored with the heap, so saving the
+// flipped value keeps the pair consistent.
+func (m *OnOffModulator) SnapshotState(prev any) any {
+	s, _ := prev.(*onOffState)
+	if s == nil {
+		s = new(onOffState)
+	}
+	m.snap(&s.baseState)
+	s.on = m.proc.On()
+	s.ev = m.toggle.SnapshotEvent()
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (m *OnOffModulator) RestoreState(st any) {
+	s := st.(*onOffState)
+	m.restore(&s.baseState)
+	m.proc.SetOn(s.on)
+	m.toggle.RestoreEvent(s.ev)
+}
+
+type interfererState struct {
+	active bool
+	on     bool
+	ev     sim.Event
+}
+
+type contendedState struct {
+	baseState
+	lossProb    float64
+	interferers []interfererState
+}
+
+// SnapshotState implements Snapshotter.
+func (c *ContendedWiFi) SnapshotState(prev any) any {
+	s, _ := prev.(*contendedState)
+	if s == nil {
+		s = new(contendedState)
+	}
+	c.snap(&s.baseState)
+	s.lossProb = c.lossProb
+	s.interferers = s.interferers[:0]
+	for _, iv := range c.interferers {
+		s.interferers = append(s.interferers, interfererState{
+			active: iv.active,
+			on:     iv.proc.On(),
+			ev:     iv.toggle.SnapshotEvent(),
+		})
+	}
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (c *ContendedWiFi) RestoreState(st any) {
+	s := st.(*contendedState)
+	c.restore(&s.baseState)
+	c.lossProb = s.lossProb
+	for i, iv := range c.interferers {
+		is := &s.interferers[i]
+		iv.active = is.active
+		iv.proc.SetOn(is.on)
+		iv.toggle.RestoreEvent(is.ev)
+	}
+}
+
+type mobileState struct {
+	baseState
+	associated bool
+	nAssocObs  int
+}
+
+// SnapshotState implements Snapshotter. The sampling ticker needs nothing
+// saved: its pending event returns with the heap and its re-arm never
+// cancels.
+func (m *MobileWiFi) SnapshotState(prev any) any {
+	s, _ := prev.(*mobileState)
+	if s == nil {
+		s = new(mobileState)
+	}
+	m.snap(&s.baseState)
+	s.associated = m.associated
+	s.nAssocObs = len(m.assocObs)
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (m *MobileWiFi) RestoreState(st any) {
+	s := st.(*mobileState)
+	m.restore(&s.baseState)
+	m.associated = s.associated
+	m.assocObs = m.assocObs[:s.nAssocObs]
+}
+
+type multiAPState struct {
+	baseState
+	current     int
+	associated  bool
+	inHandover  bool
+	handoverEnd float64
+	nAssocObs   int
+}
+
+// SnapshotState implements Snapshotter.
+func (m *MultiAPWiFi) SnapshotState(prev any) any {
+	s, _ := prev.(*multiAPState)
+	if s == nil {
+		s = new(multiAPState)
+	}
+	m.snap(&s.baseState)
+	s.current = m.current
+	s.associated = m.associated
+	s.inHandover = m.inHandover
+	s.handoverEnd = m.handoverEnd
+	s.nAssocObs = len(m.assocObs)
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (m *MultiAPWiFi) RestoreState(st any) {
+	s := st.(*multiAPState)
+	m.restore(&s.baseState)
+	m.current = s.current
+	m.associated = s.associated
+	m.inHandover = s.inHandover
+	m.handoverEnd = s.handoverEnd
+	m.assocObs = m.assocObs[:s.nAssocObs]
+}
+
+type traceState struct {
+	baseState
+	next int
+}
+
+// SnapshotState implements Snapshotter. The breakpoint events were all
+// scheduled at construction and fire in order, so the cursor is the only
+// dynamic state beyond the base.
+func (tr *Trace) SnapshotState(prev any) any {
+	s, _ := prev.(*traceState)
+	if s == nil {
+		s = new(traceState)
+	}
+	tr.snap(&s.baseState)
+	s.next = tr.next
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (tr *Trace) RestoreState(st any) {
+	s := st.(*traceState)
+	tr.restore(&s.baseState)
+	tr.next = s.next
+}

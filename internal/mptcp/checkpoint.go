@@ -1,0 +1,47 @@
+package mptcp
+
+import (
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// ConnSnapshot saves a Connection's mutable state for the sweep-fork
+// executor. Subflows and requests are captured as slice headers: appends
+// after the snapshot only touch indices at or beyond the saved length
+// (requests pop from the front by reslicing and push at the end, subflows
+// only append), so the saved prefix still holds exactly the elements it
+// held at snapshot time. Request fields are immutable after Enqueue and
+// subflow state is restored separately through the tcp arena, so sharing
+// the pointees is safe. The lia coupling cache is mutated in place every
+// round, so its contents are copied.
+type ConnSnapshot struct {
+	queued       units.ByteSize
+	taken        units.ByteSize
+	delivered    units.ByteSize
+	lastActivity float64
+	subflows     []*tcp.Subflow
+	requests     []*Request
+	lia          []liaCache
+}
+
+// Snapshot saves the connection's state into s, reusing s's buffers.
+func (c *Connection) Snapshot(s *ConnSnapshot) {
+	s.queued = c.queued
+	s.taken = c.taken
+	s.delivered = c.delivered
+	s.lastActivity = c.lastActivity
+	s.subflows = append(s.subflows[:0], c.subflows...)
+	s.requests = append(s.requests[:0], c.requests...)
+	s.lia = append(s.lia[:0], c.lia...)
+}
+
+// Restore reinstates a snapshot taken from this connection.
+func (c *Connection) Restore(s *ConnSnapshot) {
+	c.queued = s.queued
+	c.taken = s.taken
+	c.delivered = s.delivered
+	c.lastActivity = s.lastActivity
+	c.subflows = append(c.subflows[:0], s.subflows...)
+	c.requests = append(c.requests[:0], s.requests...)
+	c.lia = append(c.lia[:0], s.lia...)
+}

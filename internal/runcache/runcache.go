@@ -46,6 +46,7 @@ type Cache[V any] struct {
 	hits  sync.Mutex // guards the counters below
 	nHit  uint64
 	nMiss uint64
+	nWait uint64 // hits that blocked on an in-flight compute
 }
 
 // New returns an empty cache.
@@ -76,15 +77,27 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 	sh.mu.Unlock()
 
 	if ok {
-		<-e.done
-		c.count(true)
+		// Distinguish settled hits from single-flight waits: a wait means
+		// another goroutine is computing this key right now, which is the
+		// signal -v surfaces for how much duplicate work the cache merged.
+		waited := false
+		select {
+		case <-e.done:
+		default:
+			waited = true
+			<-e.done
+		}
+		c.count(hitSettled)
+		if waited {
+			c.count(hitWaited)
+		}
 		if e.panicked != nil {
 			panic(e.panicked)
 		}
 		return e.val
 	}
 
-	c.count(false)
+	c.count(miss)
 	defer func() {
 		if r := recover(); r != nil {
 			e.panicked = r
@@ -97,11 +110,22 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 	return e.val
 }
 
-func (c *Cache[V]) count(hit bool) {
+type counter int
+
+const (
+	hitSettled counter = iota
+	hitWaited
+	miss
+)
+
+func (c *Cache[V]) count(which counter) {
 	c.hits.Lock()
-	if hit {
+	switch which {
+	case hitSettled:
 		c.nHit++
-	} else {
+	case hitWaited:
+		c.nWait++
+	case miss:
 		c.nMiss++
 	}
 	c.hits.Unlock()
@@ -117,6 +141,19 @@ func (c *Cache[V]) Stats() (hits, misses uint64) {
 	hits, misses = c.nHit, c.nMiss
 	c.hits.Unlock()
 	return hits, misses
+}
+
+// FlightStats reports hits, misses, and single-flight waits — hits that
+// arrived while the key was still computing and blocked for the shared
+// result instead of recomputing it. Safe to call concurrently with Do.
+func (c *Cache[V]) FlightStats() (hits, misses, waits uint64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.hits.Lock()
+	hits, misses, waits = c.nHit, c.nMiss, c.nWait
+	c.hits.Unlock()
+	return hits, misses, waits
 }
 
 // Len reports the number of distinct keys resident in the cache,

@@ -1,0 +1,261 @@
+// Checkpoint/fork prefix-sharing for sweep campaigns.
+//
+// A parameter sweep (κ, τ, hysteresis safety factor) runs the same
+// scenario many times, varying one controller tunable. Until the first
+// virtual time at which the swept parameter can observably change a
+// decision, every run in the sweep executes the identical event sequence
+// — often the overwhelming majority of the run. RunSweep simulates that
+// shared prefix once: a probed base run records every controller tick,
+// each sweep point locates its first divergent tick offline, and a second
+// pass re-runs the base up to each divergence barrier, checkpoints the
+// whole RunState, and forks one restored copy per point. Forked results
+// are bit-identical to individually simulated runs
+// (FuzzForkedRunEquivalence), so caching, goldens, and every consumer see
+// no difference except wall-clock time.
+package scenario
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/link"
+	"repro/internal/mptcp"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/tcp"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// SweepPoint is one parameterisation of a sweep family.
+type SweepPoint struct {
+	// Scenario is the full variant scenario — what an unforked sweep
+	// would pass to Run. It defines the point's cache key and is the
+	// fallback when the family cannot fork.
+	Scenario Scenario
+	// Mutate applies the variant parameter to a controller restored at
+	// the divergence barrier.
+	Mutate func(*core.Controller)
+	// DivergesAt replays the base run's tick records against the variant
+	// parameter and returns the index of the first record whose outcome
+	// would differ, or -1 when the variant is indistinguishable from the
+	// base (its result is the base result, no simulation needed).
+	DivergesAt func([]core.TickRecord) int
+}
+
+// Fork-path counters, exposed through Stats for emptcpsim -v and the
+// equivalence tests (which assert the fork path actually executed).
+var (
+	nForkTrees atomic.Int64
+	nForkRuns  atomic.Int64
+)
+
+// ForkStats returns how many sweep trees were fork-executed and how many
+// forked runs they produced (runs that skipped their shared prefix).
+func ForkStats() (trees, runs int64) {
+	return nForkTrees.Load(), nForkRuns.Load()
+}
+
+// forkCheckpoint owns the pooled snapshot buffers for one divergence
+// barrier: the engine, the accountant, both arenas, the controller, the
+// connection, both paths, both link processes, and the run's metering
+// accumulators. Restoring is in-place and allocation-free.
+type forkCheckpoint struct {
+	eng   sim.Checkpoint
+	acct  energy.AcctSnapshot
+	arena tcp.ArenaSnapshot
+	rng   simrng.ArenaSnapshot
+	ctl   core.CtlSnapshot
+	conn  mptcp.ConnSnapshot
+
+	wifiPath, ltePath tcp.PathSnapshot
+	wifiLink, lteLink any
+
+	delivered   [energy.NumInterfaces]units.ByteSize
+	meterLast   [energy.NumInterfaces]units.ByteSize
+	uplinked    [energy.NumInterfaces]units.ByteSize
+	meterLastUp [energy.NumInterfaces]units.ByteSize
+	lteTouched  bool
+	complete    float64
+}
+
+var forkCkPool = sync.Pool{New: func() any { return new(forkCheckpoint) }}
+
+// checkpoint saves the complete run state into ck. The engine must be
+// between events (after RunBefore).
+func (st *RunState) checkpoint(ck *forkCheckpoint) {
+	r := &st.r
+	st.eng.Snapshot(&ck.eng)
+	st.acct.Snapshot(&ck.acct)
+	st.arena.Snapshot(&ck.arena)
+	st.rngArena.Snapshot(&ck.rng)
+	r.ctls[0].Snapshot(&ck.ctl)
+	r.conns[0].Snapshot(&ck.conn)
+	r.wifiPath.Snapshot(&ck.wifiPath)
+	r.ltePath.Snapshot(&ck.ltePath)
+	ck.wifiLink = r.wifiProc.(link.Snapshotter).SnapshotState(ck.wifiLink)
+	ck.lteLink = r.lteProc.(link.Snapshotter).SnapshotState(ck.lteLink)
+	ck.delivered = r.delivered
+	ck.meterLast = r.meterLast
+	ck.uplinked = r.uplinked
+	ck.meterLastUp = r.meterLastUp
+	ck.lteTouched = r.lteTouched
+	ck.complete = r.complete
+}
+
+// restore rewinds the run to ck.
+func (st *RunState) restore(ck *forkCheckpoint) {
+	r := &st.r
+	st.eng.Restore(&ck.eng)
+	st.acct.Restore(&ck.acct)
+	st.arena.Restore(&ck.arena)
+	st.rngArena.Restore(&ck.rng)
+	r.ctls[0].Restore(&ck.ctl)
+	r.conns[0].Restore(&ck.conn)
+	r.wifiPath.Restore(&ck.wifiPath)
+	r.ltePath.Restore(&ck.ltePath)
+	r.wifiProc.(link.Snapshotter).RestoreState(ck.wifiLink)
+	r.lteProc.(link.Snapshotter).RestoreState(ck.lteLink)
+	r.delivered = ck.delivered
+	r.meterLast = ck.meterLast
+	r.uplinked = ck.uplinked
+	r.meterLastUp = ck.meterLastUp
+	r.lteTouched = ck.lteTouched
+	r.complete = ck.complete
+}
+
+// forkEligible reports whether a sweep over base can use the fork
+// executor at all. Forking needs an eMPTCP controller (the divergence
+// analysis replays its ticks), no in-line observers (a recorder or trace
+// would see the prefix once instead of per run), and a workload whose
+// launch-time state is fully captured by the checkpoint — the stateless
+// file transfers. WebPage and Streaming keep progress in closure
+// variables the checkpoint cannot reach.
+func forkEligible(base Scenario, proto Protocol, opt Opts) bool {
+	if proto != EMPTCP || opt.Trace || opt.Recorder != nil {
+		return false
+	}
+	switch base.Work.(type) {
+	case workload.FileDownload, workload.FileUpload, workload.Bulk:
+		return true
+	}
+	return false
+}
+
+// RunSweep executes one sweep family — a base parameterisation plus its
+// points — sharing the simulated prefix between points wherever possible.
+// It returns one Result per point, each bit-identical to
+// Run(points[i].Scenario, proto, opt). Ineligible sweeps (see
+// forkEligible) fall back to exactly that call. With opt.Cache set,
+// points are memoized individually under their own content keys — a
+// fully-cached sweep never simulates, and a partially-cached one
+// simulates the tree once.
+func RunSweep(base Scenario, points []SweepPoint, proto Protocol, opt Opts) []Result {
+	results := make([]Result, len(points))
+	if !forkEligible(base, proto, opt) {
+		for i := range points {
+			results[i] = Run(points[i].Scenario, proto, opt)
+		}
+		return results
+	}
+	var (
+		once   sync.Once
+		tree   []Result
+		treeOK bool
+	)
+	compute := func() { tree, treeOK = runForkTree(base, points, proto, opt) }
+	for i := range points {
+		get := func() Result {
+			once.Do(compute)
+			if !treeOK {
+				// The launched base revealed a non-checkpointable piece
+				// (custom link process, unexpected wiring): simulate the
+				// point directly. The enclosing cache Do (if any) already
+				// holds this point's entry, so bypass Run's cache lookup.
+				return runPooled(points[i].Scenario, proto, opt)
+			}
+			return tree[i]
+		}
+		if opt.Cache != nil {
+			if k, ok := cacheKey(points[i].Scenario, proto, opt); ok {
+				results[i] = opt.Cache.Do(k, get)
+				continue
+			}
+		}
+		results[i] = get()
+	}
+	return results
+}
+
+// runForkTree simulates one sweep family as a prefix-shared tree on a
+// pooled RunState. It returns ok=false when the launched run turns out
+// not to be checkpointable.
+func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) ([]Result, bool) {
+	st := statePool.Get().(*RunState)
+	defer statePool.Put(st)
+
+	// Pass 1: the probed base run, at full batching speed, recording
+	// every controller tick.
+	st.tickRecs = st.tickRecs[:0]
+	r := st.launch(base, proto, opt, func(tr core.TickRecord) {
+		st.tickRecs = append(st.tickRecs, tr)
+	})
+	if len(r.conns) != 1 || len(r.ctls) != 1 {
+		return nil, false
+	}
+	if _, ok := r.wifiProc.(link.Snapshotter); !ok {
+		return nil, false
+	}
+	if _, ok := r.lteProc.(link.Snapshotter); !ok {
+		return nil, false
+	}
+	r.eng.Run()
+	baseRes := r.collect()
+	recs := st.tickRecs
+
+	// Offline divergence analysis: points indistinguishable from the base
+	// take its result outright (Result holds no pointers on untraced runs,
+	// so the copies share nothing).
+	results := make([]Result, len(points))
+	type div struct{ rec, pt int }
+	divs := make([]div, 0, len(points))
+	for i := range points {
+		if d := points[i].DivergesAt(recs); d >= 0 {
+			divs = append(divs, div{d, i})
+		} else {
+			results[i] = baseRes
+		}
+	}
+	nForkTrees.Add(1)
+	if len(divs) == 0 {
+		return results, true
+	}
+	sort.Slice(divs, func(a, b int) bool { return divs[a].rec < divs[b].rec })
+
+	// Pass 2: re-launch the identical base (same seed, no probe — probing
+	// never changes execution), advance it barrier to barrier, and fork
+	// one restored copy per divergent point. Tick records are emitted one
+	// sampling interval after they are armed, so stopping strictly before
+	// recs[d].At leaves the divergent tick queued for every fork.
+	r = st.launch(base, proto, opt, nil)
+	ck := forkCkPool.Get().(*forkCheckpoint)
+	defer forkCkPool.Put(ck)
+	for gi := 0; gi < len(divs); {
+		at := recs[divs[gi].rec].At
+		r.eng.RunBefore(at)
+		st.checkpoint(ck)
+		for ; gi < len(divs) && recs[divs[gi].rec].At == at; gi++ {
+			st.restore(ck)
+			pt := &points[divs[gi].pt]
+			pt.Mutate(r.ctls[0])
+			r.eng.Run()
+			results[divs[gi].pt] = r.collect()
+			nForkRuns.Add(1)
+		}
+		st.restore(ck)
+	}
+	return results, true
+}

@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// mkSweep builds one sweep family from fuzz-shaped inputs. family selects
+// κ/τ/safety; wifiMbps and lteMbps shape the link so different inputs hit
+// the establish-early, establish-late, and never-establish regimes.
+func mkSweep(family uint8, wifiMbps, lteMbps float64, size units.ByteSize, upload bool) (Scenario, []SweepPoint) {
+	var work workload.Workload = workload.FileDownload{Size: size}
+	if upload {
+		work = workload.FileUpload{Size: size}
+	}
+	sc := StaticLab(s3(), wifiMbps, lteMbps, work)
+	switch family % 3 {
+	case 0:
+		return KappaSweep(sc, []units.ByteSize{16 * units.KB, 64 * units.KB, 256 * units.KB, 1 * units.MB, 4 * units.MB})
+	case 1:
+		return TauSweep(sc, []float64{0.5, 1, 3, 6, 12})
+	default:
+		return SafetySweep(sc, []float64{0, 0.05, 0.10, 0.30, 0.60})
+	}
+}
+
+// checkForkedEquivalence runs one sweep family both ways and requires the
+// forked results to be bit-identical to individually simulated runs.
+func checkForkedEquivalence(t *testing.T, family uint8, seed int64, wifiMbps, lteMbps float64, sizeKB uint16, upload bool) {
+	t.Helper()
+	size := units.ByteSize(sizeKB%8192+16) * units.KB
+	base, points := mkSweep(family, wifiMbps, lteMbps, size, upload)
+	opt := Opts{Seed: seed}
+	if !forkEligible(base, EMPTCP, opt) {
+		t.Fatalf("sweep family %d unexpectedly ineligible for forking", family%3)
+	}
+
+	trees0, runs0 := ForkStats()
+	forked := RunSweep(base, points, EMPTCP, opt)
+	trees1, _ := ForkStats()
+	if trees1 == trees0 {
+		t.Fatalf("RunSweep did not take the fork path")
+	}
+
+	for i := range points {
+		want := new(RunState).runOne(points[i].Scenario, EMPTCP, opt)
+		got := forked[i]
+		normNaN(&want)
+		normNaN(&got)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("family %d point %d seed %d (wifi %.2g lte %.2g size %v): forked result differs\nunforked: %+v\nforked:   %+v",
+				family%3, i, seed, wifiMbps, lteMbps, size, want, got)
+		}
+	}
+	if t.Failed() {
+		_, runs1 := ForkStats()
+		t.Logf("forked runs this family: %d", runs1-runs0)
+	}
+}
+
+// TestForkedSweepEquivalence pins the deterministic corners: the ext-sweep
+// grids plus regimes where the base never establishes LTE (everything
+// reuses the base result) and where it establishes almost immediately.
+func TestForkedSweepEquivalence(t *testing.T) {
+	cases := []struct {
+		family   uint8
+		wifi     float64
+		lte      float64
+		sizeKB   uint16
+		upload   bool
+	}{
+		{0, 4, 4.5, 256, false},    // the ext-sweep κ grid's scenario
+		{1, 0.5, 4.5, 8192, false}, // the ext-sweep τ grid's scenario
+		{2, 4, 4.5, 4096, false},   // hysteresis on mid WiFi
+		{0, 12, 4.5, 128, false},   // fast WiFi: base never establishes
+		{1, 12, 4.5, 128, false},
+		{2, 0.5, 4.5, 2048, true},  // upload: uplink EIB tables
+		{0, 0.5, 4.5, 2048, false}, // bad WiFi: τ rescues everything
+	}
+	for _, c := range cases {
+		for _, seed := range []int64{0, 3} {
+			checkForkedEquivalence(t, c.family, seed, c.wifi, c.lte, c.sizeKB, c.upload)
+		}
+	}
+}
+
+// FuzzForkedRunEquivalence is the fork-path analogue of the TCP layer's
+// FuzzBatchedRoundEquivalence: any sweep family, any link shape, any
+// seed — forked results must be bit-identical to unforked ones.
+func FuzzForkedRunEquivalence(f *testing.F) {
+	f.Add(uint8(0), int64(0), uint8(40), uint8(45), uint16(256), false)
+	f.Add(uint8(1), int64(3), uint8(5), uint8(45), uint16(8192), false)
+	f.Add(uint8(2), int64(7), uint8(40), uint8(45), uint16(4096), false)
+	f.Add(uint8(0), int64(11), uint8(120), uint8(60), uint16(64), true)
+	f.Add(uint8(1), int64(13), uint8(1), uint8(20), uint16(1024), false)
+	f.Fuzz(func(t *testing.T, family uint8, seed int64, wifiDMbps, lteDMbps uint8, sizeKB uint16, upload bool) {
+		wifi := float64(wifiDMbps%200)/10 + 0.2 // 0.2 .. 20.1 Mbps
+		lte := float64(lteDMbps%100)/10 + 0.5   // 0.5 .. 10.4 Mbps
+		checkForkedEquivalence(t, family, seed, wifi, lte, sizeKB, upload)
+	})
+}
+
+// TestForkedResultsNoAliasing mirrors TestPooledRunsIdentical for the
+// fork path: results returned by RunSweep must not alias pooled RunState
+// or checkpoint memory — later runs on the recycled state must leave
+// earlier results untouched.
+func TestForkedResultsNoAliasing(t *testing.T) {
+	base, points := mkSweep(1, 0.5, 4.5, 2*units.MB, false)
+	opt := Opts{Seed: 1}
+	first := RunSweep(base, points, EMPTCP, opt)
+	saved := make([]Result, len(first))
+	copy(saved, first)
+
+	// Churn the pool and the fork checkpoints with different work.
+	for seed := int64(2); seed < 5; seed++ {
+		RunSweep(base, points, EMPTCP, Opts{Seed: seed})
+		Run(points[0].Scenario, MPTCP, Opts{Seed: seed, Trace: true})
+	}
+
+	for i := range first {
+		normNaN(&first[i])
+		normNaN(&saved[i])
+		if !reflect.DeepEqual(first[i], saved[i]) {
+			t.Fatalf("point %d: result mutated by later pooled runs\nbefore: %+v\nafter:  %+v", i, saved[i], first[i])
+		}
+	}
+}
+
+// TestForkRestoreNoAllocs is the fork-path alloc guard: once a
+// checkpoint's buffers have grown, snapshot and restore allocate nothing.
+func TestForkRestoreNoAllocs(t *testing.T) {
+	base, _ := mkSweep(1, 0.5, 4.5, 2*units.MB, false)
+	st := statePool.Get().(*RunState)
+	defer statePool.Put(st)
+	r := st.launch(base, EMPTCP, Opts{Seed: 1}, nil)
+	r.eng.RunBefore(5.0)
+	ck := new(forkCheckpoint)
+	st.checkpoint(ck) // grow the buffers once
+	allocs := testing.AllocsPerRun(100, func() {
+		st.checkpoint(ck)
+		st.restore(ck)
+	})
+	if allocs != 0 {
+		t.Fatalf("checkpoint+restore allocates %.1f times per cycle, want 0", allocs)
+	}
+}
+
+// TestRunSweepFallbackMatchesRun covers the ineligible paths: traced
+// sweeps and closure-state workloads must fall back to per-point Run with
+// identical results.
+func TestRunSweepFallbackMatchesRun(t *testing.T) {
+	base, points := mkSweep(0, 4, 4.5, 256*units.KB, false)
+	opt := Opts{Seed: 2, Trace: true} // tracing disables forking
+	if forkEligible(base, EMPTCP, opt) {
+		t.Fatal("traced sweep should be fork-ineligible")
+	}
+	got := RunSweep(base, points, EMPTCP, opt)
+	for i := range points {
+		want := Run(points[i].Scenario, EMPTCP, opt)
+		normNaN(&want)
+		normNaN(&got[i])
+		if !reflect.DeepEqual(want, got[i]) {
+			t.Errorf("fallback point %d differs from Run", i)
+		}
+	}
+
+	web := StaticLab(s3(), 4, 4.5, workload.DefaultWebPage())
+	if forkEligible(web, EMPTCP, Opts{}) {
+		t.Fatal("closure-state workload should be fork-ineligible")
+	}
+}
+
+// TestSweepPointScenariosMatchExt pins the sweep constructors to the
+// parameterisations the ext-sweep experiment historically built by hand,
+// so cache keys and fallback runs stay compatible.
+func TestSweepPointScenariosMatchExt(t *testing.T) {
+	sc := StaticLab(s3(), 4, 4.5, workload.FileDownload{Size: 256 * units.KB})
+	_, pts := KappaSweep(sc, []units.ByteSize{64 * units.KB, 4 * units.MB})
+	for i, want := range []units.ByteSize{64 * units.KB, 4 * units.MB} {
+		if got := pts[i].Scenario.CoreConfig.Kappa; got != want {
+			t.Errorf("kappa point %d: %v, want %v", i, got, want)
+		}
+	}
+	_, tpts := TauSweep(sc, []float64{1, 12})
+	for i, want := range []float64{1, 12} {
+		if got := tpts[i].Scenario.CoreConfig.Tau; got != want {
+			t.Errorf("tau point %d: %v, want %v", i, got, want)
+		}
+	}
+	_, spts := SafetySweep(sc, []float64{0, 0.3})
+	for i, want := range []float64{0, 0.3} {
+		if got := spts[i].Scenario.EIBConfig.SafetyFactor; got != want {
+			t.Errorf("safety point %d: %v, want %v", i, got, want)
+		}
+	}
+	for _, p := range [][]SweepPoint{pts, tpts, spts} {
+		for i := range p {
+			if _, ok := cacheKey(p[i].Scenario, EMPTCP, Opts{}); !ok {
+				t.Errorf("sweep point %d not cache-eligible", i)
+			}
+		}
+	}
+}

@@ -103,6 +103,10 @@ type Scenario struct {
 	// (κ, τ, predictor smoothing, the MinRate extension). Nil uses the
 	// paper's defaults.
 	CoreConfig *core.Config
+	// EIBConfig, when non-nil, overrides the energy-information-base
+	// generation parameters (grid, hysteresis safety factor). The Uplink
+	// direction is still forced per connection. Nil uses eib.DefaultConfig.
+	EIBConfig *eib.Config
 	// AppPower is a constant application power draw (browser rendering,
 	// video decode) charged while the session is active — the component
 	// the paper's §5.4 web measurements include. Zero by default.
@@ -202,6 +206,8 @@ type run struct {
 	meterLastUp [energy.NumInterfaces]units.ByteSize
 	lteTouched  bool
 
+	probe func(core.TickRecord)
+
 	conns     []*mptcp.Connection
 	ctls      []*core.Controller
 	mdpPol    *baseline.MDPPolicy
@@ -251,6 +257,18 @@ func runPooled(sc Scenario, proto Protocol, opt Opts) Result {
 
 // runOne executes one run on this state's reused allocations.
 func (st *RunState) runOne(sc Scenario, proto Protocol, opt Opts) Result {
+	r := st.launch(sc, proto, opt, nil)
+	r.eng.Run()
+	return r.collect()
+}
+
+// launch assembles a run up to (but not including) driving the engine:
+// links, paths, the protocol wiring, the power-monitor ticker, and the
+// workload are all in place, with the horizon set, so the caller can run
+// the engine in stages (the fork executor pauses at divergence barriers).
+// probe, when non-nil, is attached to every eMPTCP controller the run
+// creates; probed execution is bit-identical to unprobed.
+func (st *RunState) launch(sc Scenario, proto Protocol, opt Opts, probe func(core.TickRecord)) *run {
 	if sc.Device == nil || sc.WiFi == nil || sc.LTE == nil || sc.Work == nil {
 		panic("scenario: incomplete scenario")
 	}
@@ -258,6 +276,7 @@ func (st *RunState) runOne(sc Scenario, proto Protocol, opt Opts) Result {
 		opt.TraceStep = 1
 	}
 	r := st.reset(sc, proto, opt)
+	r.probe = probe
 	r.acct.SetExtraBase(sc.AppPower)
 	r.acct.SetSessionActive(true)
 	if opt.Recorder != nil {
@@ -297,9 +316,7 @@ func (st *RunState) runOne(sc Scenario, proto Protocol, opt Opts) Result {
 		horizon = defaultHorizon
 	}
 	r.eng.Horizon = horizon
-	r.eng.Run()
-
-	return r.collect()
+	return r
 }
 
 // flushMeter advances the accountant to now with the throughput observed
@@ -435,6 +452,9 @@ func (r *run) openConn(uplink bool) *mptcp.Connection {
 		// Upload connections decide from the uplink table: cellular
 		// transmit power shifts every threshold.
 		eibCfg := eib.DefaultConfig()
+		if r.sc.EIBConfig != nil {
+			eibCfg = *r.sc.EIBConfig
+		}
 		eibCfg.Uplink = uplink
 		table := eib.GenerateCached(r.sc.Device, eibCfg)
 		lteCfg := tcp.DefaultConfig()
@@ -448,6 +468,7 @@ func (r *run) openConn(uplink bool) *mptcp.Connection {
 				return conn.AddSubflow("lte", energy.LTE, r.ltePath, &lteCfg, extraDelay)
 			})
 		ctl.Record = r.opt.Trace
+		ctl.Probe = r.probe
 		r.ctls = append(r.ctls, ctl)
 
 	case WiFiFirst:

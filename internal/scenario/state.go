@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/simrng"
@@ -33,6 +34,10 @@ type RunState struct {
 
 	energyScratch stats.TimeSeries
 	thrScratch    [energy.NumInterfaces]stats.TimeSeries
+
+	// tickRecs is the fork executor's probe scratch: the base run's
+	// controller tick records, reused across sweep trees.
+	tickRecs []core.TickRecord
 }
 
 var statePool = sync.Pool{New: func() any { return new(RunState) }}

@@ -1,0 +1,205 @@
+// Sweep-family constructors: the divergence-barrier rules for each
+// controller tunable the repository sweeps. Each family states, per sweep
+// point, how to detect the first base-run tick whose outcome the variant
+// parameter would change, and how to mutate a restored controller into
+// the variant. The rules lean on structural facts about the controller:
+//
+//   - κ is read only by pre-establishment ticks, and the establishment
+//     predicate is monotone in κ (a smaller κ establishes no later), so
+//     replaying the recorded gate inputs finds the exact first tick whose
+//     establishment decision flips.
+//   - τ only feeds the same gate through the tauFired flag; the timer's
+//     fire time is known in advance, so the flag's value at any recorded
+//     tick is computable offline (respecting the first-tick event-order
+//     edge: the first tick is armed before the τ timer is scheduled, so a
+//     τ landing exactly on it loses the tie; every later tick is armed
+//     after, so τ wins those ties).
+//   - the hysteresis safety factor only affects Table.Decide; Table.Best
+//     (the establishment query) depends on the raw thresholds alone, so
+//     variants share the prefix through establishment and diverge at the
+//     first path-usage decision that differs, which replaying Decide plus
+//     the MinRate override against the recorded inputs locates exactly.
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/eib"
+	"repro/internal/energy"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// coreConfigOf returns the scenario's effective controller config.
+func coreConfigOf(sc Scenario) core.Config {
+	if sc.CoreConfig != nil {
+		return *sc.CoreConfig
+	}
+	return core.DefaultConfig()
+}
+
+// establishes replays the §3.5 establishment predicate from a recorded
+// tick, with the gate re-evaluated for the variant's (κ, tauFired).
+func establishes(rec *core.TickRecord, kappa units.ByteSize, tauFired bool) bool {
+	gate := rec.WiFiBytes >= kappa || tauFired
+	return gate && !rec.Idle && !(rec.EIBWiFiOnly && rec.HoldsFloor)
+}
+
+// KappaSweep builds the sweep family for the delayed-establishment byte
+// threshold. It returns the base parameterisation (the largest κ — the
+// establishment gate is monotone, so the base is the last to establish
+// and every variant diverges off it cleanly) and one point per value.
+func KappaSweep(sc Scenario, kappas []units.ByteSize) (Scenario, []SweepPoint) {
+	cfg := coreConfigOf(sc)
+	baseCfg := cfg
+	if len(kappas) > 0 {
+		baseCfg.Kappa = kappas[0]
+		for _, k := range kappas[1:] {
+			if k > baseCfg.Kappa {
+				baseCfg.Kappa = k
+			}
+		}
+	}
+	base := sc
+	base.CoreConfig = &baseCfg
+	points := make([]SweepPoint, len(kappas))
+	for i, k := range kappas {
+		vcfg := cfg
+		vcfg.Kappa = k
+		vsc := sc
+		vsc.CoreConfig = &vcfg
+		points[i] = SweepPoint{
+			Scenario: vsc,
+			Mutate:   func(c *core.Controller) { c.SetKappa(k) },
+			DivergesAt: func(recs []core.TickRecord) int {
+				for j := range recs {
+					rec := &recs[j]
+					if rec.Control {
+						break
+					}
+					if establishes(rec, k, rec.TauFired) != rec.Established {
+						return j
+					}
+					if rec.Established {
+						// Both establish here; κ is never read again.
+						break
+					}
+				}
+				return -1
+			},
+		}
+	}
+	return base, points
+}
+
+// TauSweep builds the sweep family for the establishment escape timer.
+// The base runs the largest τ; a variant whose timer fires earlier
+// diverges at the first tick that would establish under its already-
+// elapsed timer, where the mutation marks the timer fired and cancels
+// the base timer event.
+func TauSweep(sc Scenario, taus []float64) (Scenario, []SweepPoint) {
+	cfg := coreConfigOf(sc)
+	baseCfg := cfg
+	if len(taus) > 0 {
+		baseCfg.Tau = taus[0]
+		for _, tau := range taus[1:] {
+			if tau > baseCfg.Tau {
+				baseCfg.Tau = tau
+			}
+		}
+	}
+	base := sc
+	base.CoreConfig = &baseCfg
+	points := make([]SweepPoint, len(taus))
+	for i, tau := range taus {
+		vcfg := cfg
+		vcfg.Tau = tau
+		vsc := sc
+		vsc.CoreConfig = &vcfg
+		points[i] = SweepPoint{
+			Scenario: vsc,
+			Mutate:   func(c *core.Controller) { c.ForceTauFired() },
+			DivergesAt: func(recs []core.TickRecord) int {
+				for j := range recs {
+					rec := &recs[j]
+					if rec.Control {
+						break
+					}
+					// The variant timer's state at this tick, from the
+					// recorded tick time and the scheduling tie rules. A
+					// non-positive τ is treated as fired from the start,
+					// matching the controller's construction-time rule.
+					fired := tau <= 0 || tau < rec.At || (tau == rec.At && j > 0)
+					if establishes(rec, vcfg.Kappa, fired) != rec.Established {
+						return j
+					}
+					if rec.Established {
+						break
+					}
+				}
+				return -1
+			},
+		}
+	}
+	return base, points
+}
+
+// SafetySweep builds the sweep family for the EIB hysteresis safety
+// factor. The base runs the scenario's own factor; variants share its
+// prefix through establishment (Table.Best ignores the factor) and
+// diverge at the first path-usage decision the variant table would make
+// differently.
+func SafetySweep(sc Scenario, safeties []float64) (Scenario, []SweepPoint) {
+	ccfg := coreConfigOf(sc)
+	ecfg := eib.DefaultConfig()
+	if sc.EIBConfig != nil {
+		ecfg = *sc.EIBConfig
+	}
+	// The controller's table is direction-specific; replicate the
+	// per-connection Uplink override to replay its decisions.
+	_, uplink := sc.Work.(workload.FileUpload)
+	points := make([]SweepPoint, len(safeties))
+	for i, s := range safeties {
+		vcfg := ecfg
+		vcfg.SafetyFactor = s
+		vsc := sc
+		vscCfg := vcfg
+		vsc.EIBConfig = &vscCfg
+		tblCfg := vcfg
+		tblCfg.Uplink = uplink
+		points[i] = SweepPoint{
+			Scenario: vsc,
+			Mutate: func(c *core.Controller) {
+				c.SetTable(eib.GenerateCached(sc.Device, tblCfg))
+			},
+			DivergesAt: func(recs []core.TickRecord) int {
+				tbl := eib.GenerateCached(sc.Device, tblCfg)
+				for j := range recs {
+					rec := &recs[j]
+					if !rec.Control {
+						continue
+					}
+					next := tbl.Decide(rec.Current, rec.Wifi, rec.LTE)
+					// Replay Controller.enforceMinRate on the recorded
+					// backlog.
+					if ccfg.MinRate > 0 && rec.Backlog > 0 {
+						agg := units.BitRate(0)
+						if next.UseWiFi {
+							agg += rec.Wifi
+						}
+						if next.UseLTE {
+							agg += rec.LTE
+						}
+						if agg < ccfg.MinRate {
+							next = energy.Both
+						}
+					}
+					if next != rec.Next {
+						return j
+					}
+				}
+				return -1
+			},
+		}
+	}
+	return sc, points
+}

@@ -1,0 +1,123 @@
+package sim
+
+import "math"
+
+// Checkpoint is a reusable deep copy of an Engine's dynamic state: the
+// 4-ary heap, the node arena (callbacks, generations, liveness), the free
+// list, the clock, the sequence counter, and the batch-window fields. One
+// Checkpoint can be restored any number of times, which is what the
+// sweep-fork executor in internal/scenario builds on: simulate a shared
+// prefix once, snapshot, then restore per sweep point.
+//
+// The buffers grow on first use and are reused by later Snapshot calls,
+// so a pooled Checkpoint allocates nothing in steady state.
+type Checkpoint struct {
+	now     Time
+	heap    []entry
+	nodes   []node
+	free    []int32
+	seq     uint64
+	stopped bool
+	limit   Time
+	horizon Time
+}
+
+// Snapshot copies the engine's state into ck. The engine must not be
+// inside Run (snapshot between events, e.g. after RunBefore returns).
+// The attached trace recorder is not part of the checkpoint: forked runs
+// are recorder-less, and Restore leaves the current recorder in place.
+func (e *Engine) Snapshot(ck *Checkpoint) {
+	if e.running {
+		panic("sim: Snapshot during Run")
+	}
+	ck.now = e.now
+	ck.seq = e.seq
+	ck.stopped = e.stopped
+	ck.limit = e.limit
+	ck.horizon = e.Horizon
+	ck.heap = append(ck.heap[:0], e.heap...)
+	ck.nodes = append(ck.nodes[:0], e.nodes...)
+	ck.free = append(ck.free[:0], e.free...)
+}
+
+// Restore rewinds the engine to the snapshot. Node slots that exist in
+// the snapshot get their exact saved state back — callback, generation,
+// and liveness — so Event handles obtained before the Snapshot work again
+// (cancelling one cancels the restored event). Slots allocated after the
+// snapshot are scrubbed: their generation is bumped and they return to
+// the free list, so any handle minted after the Snapshot goes stale and
+// cannot resurrect or ghost-cancel a restored event. Handles obtained
+// after Snapshot must not be used after Restore.
+//
+// Restore performs no allocations: the node arena is never truncated,
+// only its snapshot prefix is overwritten.
+func (e *Engine) Restore(ck *Checkpoint) {
+	if e.running {
+		panic("sim: Restore during Run")
+	}
+	e.now = ck.now
+	e.seq = ck.seq
+	e.stopped = ck.stopped
+	e.limit = ck.limit
+	e.Horizon = ck.horizon
+	e.heap = append(e.heap[:0], ck.heap...)
+	n := len(ck.nodes)
+	if len(e.nodes) < n {
+		// Cannot happen when restoring into the engine that was
+		// snapshotted (the arena only grows), but keep Restore total.
+		e.nodes = append(e.nodes, make([]node, n-len(e.nodes))...)
+	}
+	copy(e.nodes[:n], ck.nodes)
+	e.free = append(e.free[:0], ck.free...)
+	for i := n; i < len(e.nodes); i++ {
+		nd := &e.nodes[i]
+		nd.fn = nil
+		nd.gen++
+		nd.dead = false
+		e.free = append(e.free, int32(i))
+	}
+}
+
+// RunBefore processes events strictly before time t, leaving every event
+// at or after t queued — including events at exactly t. It is the fork
+// executor's positioning primitive: stopping strictly before the first
+// divergent event's timestamp leaves that event (and its same-time
+// predecessors) queued, so a restored copy replays them identically.
+// Unlike RunUntil, the clock is left at the last fired event, not
+// advanced to t. The round batcher is bounded the same way: no deferred
+// completion at or past t is coalesced inline.
+func (e *Engine) RunBefore(t Time) Time {
+	prev := e.limit
+	// The batch window must exclude t itself; the largest representable
+	// time below t is the tightest inline-firing bound.
+	e.limit = math.Nextafter(t, math.Inf(-1))
+	defer func() { e.limit = prev }()
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.nodes[top.idx].dead {
+			e.pop()
+			e.release(top.idx)
+			continue
+		}
+		if top.at >= t {
+			break
+		}
+		if !e.Step() {
+			break
+		}
+		if e.stopped {
+			break
+		}
+	}
+	return e.now
+}
+
+// SnapshotEvent returns the timer's pending-event handle so a caller
+// checkpointing state that owns Timers (link modulators) can restore it
+// alongside the engine: Timer.After cancels the previous arm, and after
+// an Engine.Restore the handle must match the restored heap or the next
+// re-arm would ghost-cancel an unrelated event.
+func (t *Timer) SnapshotEvent() Event { return t.ev }
+
+// RestoreEvent reinstates a handle saved by SnapshotEvent.
+func (t *Timer) RestoreEvent(ev Event) { t.ev = ev }

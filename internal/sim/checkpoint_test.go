@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestSnapshotRestoreReplay checks the core contract: restoring a
+// checkpoint replays the exact same suffix, including event ordering and
+// the sequence counter.
+func TestSnapshotRestoreReplay(t *testing.T) {
+	e := New()
+	var log []string
+	emit := func(s string) func() { return func() { log = append(log, s) } }
+	e.Schedule(1, emit("a"))
+	e.Schedule(2, emit("b"))
+	e.Schedule(2, emit("c")) // same time: seq breaks the tie
+	e.Schedule(5, emit("d"))
+
+	e.RunBefore(2)
+	if e.Now() != 1 {
+		t.Fatalf("RunBefore(2) left clock at %v, want 1 (last fired event)", e.Now())
+	}
+	var ck Checkpoint
+	e.Snapshot(&ck)
+
+	e.Run()
+	first := append([]string(nil), log...)
+	want := []string{"a", "b", "c", "d"}
+	if len(first) != 4 {
+		t.Fatalf("first run fired %v, want %v", first, want)
+	}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("first run fired %v, want %v", first, want)
+		}
+	}
+
+	for rep := 0; rep < 3; rep++ {
+		log = log[:1] // keep "a": it fired before the snapshot
+		e.Restore(&ck)
+		if e.Now() != 1 {
+			t.Fatalf("restore left clock at %v, want 1", e.Now())
+		}
+		e.Run()
+		if len(log) != 4 {
+			t.Fatalf("replay %d fired %v, want %v", rep, log, want)
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("replay %d fired %v, want %v", rep, log, want)
+			}
+		}
+	}
+}
+
+// TestRunBeforeLeavesBoundaryQueued checks that events at exactly t stay
+// queued, including when a dead entry sits on top of the heap at t.
+func TestRunBeforeLeavesBoundaryQueued(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	ev := e.Schedule(2, func() { fired++ })
+	e.Schedule(2, func() { fired++ })
+	ev.Cancel()
+
+	e.RunBefore(2)
+	if fired != 1 {
+		t.Fatalf("RunBefore(2) fired %d events, want 1", fired)
+	}
+	if at, _, ok := e.PeekNext(); !ok || at != 2 {
+		t.Fatalf("next live event at %v (ok=%v), want 2", at, ok)
+	}
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("total fired %d, want 2 (one boundary event was cancelled)", fired)
+	}
+}
+
+// TestRestoreScrubsPostSnapshotHandles is the dead-top-drain regression:
+//
+//  1. schedule and snapshot,
+//  2. cancel a snapshotted event and let PeekNext drain its dead entry,
+//     putting the node on the free list,
+//  3. schedule a new event that reuses that node (generation bumped),
+//  4. restore the older checkpoint.
+//
+// The post-snapshot handle must go stale — cancelling it must not kill
+// the restored (resurrected) original event — and the pre-snapshot handle
+// must work again.
+func TestRestoreScrubsPostSnapshotHandles(t *testing.T) {
+	e := New()
+	var fired []string
+	ev1 := e.Schedule(1, func() { fired = append(fired, "one") })
+	ev2 := e.Schedule(2, func() { fired = append(fired, "two") })
+
+	var ck Checkpoint
+	e.Snapshot(&ck)
+
+	// Kill ev2 and force PeekNext to drain both dead-top entries is not
+	// possible (ev1 is live), so cancel both to exercise the drain.
+	ev1.Cancel()
+	ev2.Cancel()
+	if _, _, ok := e.PeekNext(); ok {
+		t.Fatal("PeekNext found a live event after cancelling both")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("drain left %d heap entries", e.Pending())
+	}
+
+	// These reuse the freed nodes with bumped generations.
+	ev3 := e.Schedule(3, func() { fired = append(fired, "three") })
+	ev4 := e.Schedule(4, func() { fired = append(fired, "four") })
+
+	e.Restore(&ck)
+
+	// Handles minted after the snapshot must be inert now.
+	ev3.Cancel()
+	ev4.Cancel()
+	if ev3.Cancelled() || ev4.Cancelled() {
+		t.Fatal("post-snapshot handle still resolves after Restore")
+	}
+
+	// Pre-snapshot handles must be live again: cancel ev2 for real.
+	ev2.Cancel()
+	if !ev2.Cancelled() {
+		t.Fatal("pre-snapshot handle did not resurrect on Restore")
+	}
+	e.Run()
+	if len(fired) != 1 || fired[0] != "one" {
+		t.Fatalf("fired %v, want [one] (two cancelled, three/four scrubbed)", fired)
+	}
+}
+
+// TestRestoreAfterArenaGrowth restores a checkpoint taken before the node
+// arena grew; the grown tail must be scrubbed onto the free list and the
+// replay must stay identical.
+func TestRestoreAfterArenaGrowth(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	var ck Checkpoint
+	e.Snapshot(&ck)
+
+	extra := make([]Event, 64)
+	for i := range extra {
+		extra[i] = e.Schedule(Time(2+i), func() { n += 100 })
+	}
+	e.Restore(&ck)
+	for _, ev := range extra {
+		ev.Cancel() // all stale: must be no-ops
+	}
+	e.Run()
+	if n != 1 {
+		t.Fatalf("n = %d after restored run, want 1", n)
+	}
+	// The scrubbed tail must be reusable.
+	e.Schedule(5, func() { n += 10 })
+	e.Run()
+	if n != 11 {
+		t.Fatalf("n = %d after reuse run, want 11", n)
+	}
+}
+
+// TestSnapshotSteadyStateAllocs: reusing a Checkpoint's buffers must not
+// allocate.
+func TestSnapshotSteadyStateAllocs(t *testing.T) {
+	e := New()
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	var ck Checkpoint
+	e.Snapshot(&ck)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Snapshot(&ck)
+		e.Restore(&ck)
+	})
+	if allocs != 0 {
+		t.Fatalf("Snapshot+Restore allocates %.1f per cycle, want 0", allocs)
+	}
+}
+
+// TestTimerSnapshotEvent checks the Timer re-arm hazard: after a Restore,
+// a timer whose handle was not restored would ghost-cancel whatever event
+// reused its node.
+func TestTimerSnapshotEvent(t *testing.T) {
+	e := New()
+	var fired []string
+	tm := e.BindTimer(func() { fired = append(fired, "timer") })
+	tm.After(10)
+
+	var ck Checkpoint
+	e.Snapshot(&ck)
+	saved := tm.SnapshotEvent()
+
+	// Diverge: re-arm the timer (cancels the old event, allocates a new
+	// node), then restore.
+	tm.After(1)
+	e.Restore(&ck)
+	tm.RestoreEvent(saved)
+
+	// Re-arming now must cancel the restored event, not a stranger.
+	e.Schedule(2, func() { fired = append(fired, "other") })
+	tm.After(5)
+	e.Run()
+	if len(fired) != 2 || fired[0] != "other" || fired[1] != "timer" {
+		t.Fatalf("fired %v, want [other timer]", fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5 (re-armed timer)", e.Now())
+	}
+}

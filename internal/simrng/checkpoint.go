@@ -1,0 +1,50 @@
+package simrng
+
+// SourceState is one generator's saved position: the lagged-Fibonacci
+// cursor pair plus the full 607-word state vector.
+type SourceState struct {
+	tap, feed int
+	vec       [lfLen]int64
+}
+
+// ArenaSnapshot is a reusable copy of every live Source in an Arena. The
+// embedded rand.Rand wrappers carry no state of their own (the ziggurat
+// distributions draw straight from the source), so restoring the vectors
+// and cursors rewinds every stream exactly.
+type ArenaSnapshot struct {
+	next   int
+	states []SourceState
+}
+
+// Snapshot saves the arena cursor and the state of each handed-out Source.
+func (a *Arena) Snapshot(s *ArenaSnapshot) {
+	s.next = a.next
+	if cap(s.states) < a.next {
+		s.states = make([]SourceState, a.next)
+	}
+	s.states = s.states[:a.next]
+	for i := 0; i < a.next; i++ {
+		lf := &a.items[i].lf
+		s.states[i] = SourceState{tap: lf.tap, feed: lf.feed, vec: lf.vec}
+	}
+}
+
+// Restore rewinds the arena to the snapshot: the cursor returns, so slots
+// handed out after the snapshot are handed out (and re-seeded) again, and
+// every Source that existed at snapshot time resumes its stream from the
+// saved position.
+func (a *Arena) Restore(s *ArenaSnapshot) {
+	a.next = s.next
+	for i := 0; i < s.next; i++ {
+		lf := &a.items[i].lf
+		st := &s.states[i]
+		lf.tap = st.tap
+		lf.feed = st.feed
+		lf.vec = st.vec
+	}
+}
+
+// SetOn forces the process into the given state; checkpoint restore uses
+// it to rewind a process whose state was flipped ahead of a scheduled
+// toggle (NextToggle flips eagerly and the flip event fires later).
+func (p *OnOff) SetOn(on bool) { p.on = on }

@@ -1,0 +1,170 @@
+// Checkpoint support: value snapshots of subflow, path, and arena state
+// for the sweep-fork executor in internal/scenario. A snapshot captures
+// every field that mutates during a run; pointer wiring established at
+// construction (engine, RNG stream, path, data source, pre-bound
+// callbacks) is left alone, which is what makes restore-in-place work —
+// the closures parked in the engine's restored event heap point at the
+// same objects the restore rewrites.
+package tcp
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// roundSnap is one round record's saved payload. Records are
+// interchangeable (every field is written before the record is used), so
+// the free list is saved as registry indices and rebuilt on restore.
+type roundSnap struct {
+	n    units.ByteSize
+	dur  float64
+	lost bool
+	def  sim.Deferred
+}
+
+// SubflowSnapshot saves one subflow's mutable state.
+type SubflowSnapshot struct {
+	state        State
+	cwnd         float64
+	ssthresh     float64
+	srtt         float64
+	suspended    bool
+	inRound      bool
+	everSent     bool
+	batchBroken  bool
+	lastSendAt   float64
+	handshakeRTT float64
+	hsRTT        float64
+	delivered    units.ByteSize
+	rounds       int
+	losses       int
+	nAll         int // round-record registry length at snapshot
+	recs         []roundSnap
+	free         []int32 // free list as registry indices
+}
+
+// Snapshot saves the subflow's mutable state into s, reusing s's buffers.
+func (sf *Subflow) Snapshot(s *SubflowSnapshot) {
+	s.state = sf.state
+	s.cwnd = sf.cwnd
+	s.ssthresh = sf.ssthresh
+	s.srtt = sf.srtt
+	s.suspended = sf.suspended
+	s.inRound = sf.inRound
+	s.everSent = sf.everSent
+	s.batchBroken = sf.batchBroken
+	s.lastSendAt = sf.lastSendAt
+	s.handshakeRTT = sf.HandshakeRTT
+	s.hsRTT = sf.hsRTT
+	s.delivered = sf.BytesDelivered
+	s.rounds = sf.Rounds
+	s.losses = sf.Losses
+	s.nAll = len(sf.roundAll)
+	s.recs = s.recs[:0]
+	for _, r := range sf.roundAll {
+		s.recs = append(s.recs, roundSnap{n: r.n, dur: r.dur, lost: r.lost, def: r.def})
+	}
+	s.free = s.free[:0]
+	for _, r := range sf.roundFree {
+		for i, all := range sf.roundAll {
+			if all == r {
+				s.free = append(s.free, int32(i))
+				break
+			}
+		}
+	}
+}
+
+// Restore reinstates a snapshot. Round records created after the snapshot
+// stay in the registry and are returned to the free list: the events that
+// referenced them were discarded by the engine restore, and records carry
+// no identity (a fresh run would simply have allocated fewer of them).
+func (sf *Subflow) Restore(s *SubflowSnapshot) {
+	sf.state = s.state
+	sf.cwnd = s.cwnd
+	sf.ssthresh = s.ssthresh
+	sf.srtt = s.srtt
+	sf.suspended = s.suspended
+	sf.inRound = s.inRound
+	sf.everSent = s.everSent
+	sf.batchBroken = s.batchBroken
+	sf.lastSendAt = s.lastSendAt
+	sf.HandshakeRTT = s.handshakeRTT
+	sf.hsRTT = s.hsRTT
+	sf.BytesDelivered = s.delivered
+	sf.Rounds = s.rounds
+	sf.Losses = s.losses
+	for i := 0; i < s.nAll; i++ {
+		r := sf.roundAll[i]
+		sn := &s.recs[i]
+		r.n, r.dur, r.lost, r.def = sn.n, sn.dur, sn.lost, sn.def
+	}
+	sf.roundFree = sf.roundFree[:0]
+	for _, idx := range s.free {
+		sf.roundFree = append(sf.roundFree, sf.roundAll[idx])
+	}
+	for _, r := range sf.roundAll[s.nAll:] {
+		sf.roundFree = append(sf.roundFree, r)
+	}
+}
+
+// PathSnapshot saves a Path's mutable fields.
+type PathSnapshot struct {
+	active      int
+	epoch       uint64
+	hooked      bool
+	lossChecked bool
+}
+
+// Snapshot saves the path's mutable state. The cached LossProcess
+// assertion is re-derived from lossChecked on first use after restore;
+// the dynamic type of Capacity never changes, so clearing it alongside
+// the flag is equivalent to saving it.
+func (p *Path) Snapshot(s *PathSnapshot) {
+	s.active = p.active
+	s.epoch = p.epoch
+	s.hooked = p.hooked
+	s.lossChecked = p.lossChecked
+}
+
+// Restore reinstates a path snapshot.
+func (p *Path) Restore(s *PathSnapshot) {
+	p.active = s.active
+	p.epoch = s.epoch
+	p.hooked = s.hooked
+	if !s.lossChecked {
+		p.lossChecked = false
+		p.lossProc = nil
+	}
+}
+
+// ArenaSnapshot saves an arena cursor plus every handed-out subflow.
+type ArenaSnapshot struct {
+	next int
+	subs []SubflowSnapshot
+}
+
+// Snapshot saves the arena and all live subflows, reusing s's buffers.
+func (a *Arena) Snapshot(s *ArenaSnapshot) {
+	s.next = a.next
+	if cap(s.subs) < a.next {
+		grown := make([]SubflowSnapshot, a.next)
+		copy(grown, s.subs[:cap(s.subs)])
+		s.subs = grown
+	}
+	s.subs = s.subs[:a.next]
+	for i := 0; i < a.next; i++ {
+		a.chunks[i/arenaChunk][i%arenaChunk].Snapshot(&s.subs[i])
+	}
+}
+
+// Restore rewinds the arena: subflows handed out after the snapshot are
+// recycled (the cursor returns, so a post-restore NewSubflow reinitializes
+// the same slot), and every snapshot-time subflow gets its state back.
+func (a *Arena) Restore(s *ArenaSnapshot) {
+	a.next = s.next
+	for i := 0; i < s.next; i++ {
+		a.chunks[i/arenaChunk][i%arenaChunk].Restore(&s.subs[i])
+	}
+}
+

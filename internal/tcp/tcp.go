@@ -216,6 +216,7 @@ type Subflow struct {
 	estFn     func()        // pre-bound handshake completion
 	kickFn    func()        // pre-bound Kick for deferred wakeups
 	roundFree []*roundState // free-listed round records
+	roundAll  []*roundState // every record ever created, for checkpointing
 }
 
 // roundState carries one in-flight round's values to its pre-bound
@@ -245,6 +246,7 @@ func (sf *Subflow) getRound() *roundState {
 	r := &roundState{sf: sf}
 	r.endFn = r.end
 	r.timeoutFn = r.timeout
+	sf.roundAll = append(sf.roundAll, r)
 	return r
 }
 
@@ -274,11 +276,18 @@ func initSubflow(sf *Subflow, id string, eng *sim.Engine, src *simrng.Source, pa
 		estFn:     sf.estFn,
 		kickFn:    sf.kickFn,
 		roundFree: sf.roundFree,
+		roundAll:  sf.roundAll,
 	}
 	if sf.estFn == nil {
 		sf.estFn = sf.established
 		sf.kickFn = sf.Kick
 	}
+	// No round is in flight at (re)init, so every registered record is
+	// free. Rebuilding the free list here reclaims records whose end event
+	// never fired because the previous run completed first — otherwise a
+	// recycled slot leaks one record per run and the registry (which
+	// checkpointing walks) grows without bound.
+	sf.roundFree = append(sf.roundFree[:0], sf.roundAll...)
 }
 
 // Path returns the subflow's path.
