@@ -1,13 +1,18 @@
-// Command emptcpsim regenerates the paper's tables and figures.
+// Command emptcpsim regenerates the paper's tables and figures, and
+// runs population-scale campaigns locally or as a service.
 //
 // Usage:
 //
 //	emptcpsim [-device s3|n5] [-seed N] [-quick] [-csv] [-j N]
 //	          [-cache=false] [-nofork] [-v] [-trace FILE] [-metrics FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [experiment ...]
+//	emptcpsim campaign [-cachedir DIR] [-j N] [-o FILE] [-v] (SPEC.json | - | wild)
+//	emptcpsim serve [-addr HOST:PORT] [-cachedir DIR] [-j N]
 //
 // With no arguments it lists the available experiments. Pass experiment
 // ids ("fig5", "table2", ...) or "all" to run everything in paper order.
+// The campaign and serve subcommands are documented in serve.go and in
+// the repository README.
 // Experiments are independent seeded simulations, so -j runs them (and
 // the repeated runs inside each) across N workers; -j 1 is fully
 // sequential. Output is byte-identical at any -j.
@@ -29,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,8 +55,27 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// usage prints the one-screen invocation summary. Every invalid
+// invocation routes through here (on stderr) and exits 2 with nothing
+// on stdout, so scripts can trust a zero exit + stdout pairing.
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  emptcpsim [flags] [experiment ...|all]   regenerate tables/figures (no args: list)
+  emptcpsim campaign [flags] SPEC          run one campaign (SPEC is a file, "-", or "wild")
+  emptcpsim serve [flags]                  campaign HTTP service
+run "emptcpsim <subcommand> -h" for flags.`)
+}
+
 // run executes the CLI against the given argument list and streams.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return runServe(args[1:], stdout, stderr)
+		case "campaign":
+			return runCampaign(args[1:], stdout, stderr)
+		}
+	}
 	fs := flag.NewFlagSet("emptcpsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	device := fs.String("device", "s3", "device profile: s3 (Galaxy S3) or n5 (Nexus 5)")
@@ -66,6 +91,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to FILE")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to FILE on exit")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // asked-for help is not an error
+		}
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "-j %d: worker count must be ≥ 1\n", *jobs)
+		usage(stderr)
 		return 2
 	}
 
@@ -111,11 +144,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Device = energy.Nexus5()
 	default:
 		fmt.Fprintf(stderr, "unknown device %q (want s3 or n5)\n", *device)
+		usage(stderr)
 		return 2
 	}
 
 	rest := fs.Args()
 	if len(rest) == 0 {
+		if *traceFile != "" || *metricsFile != "" {
+			// Silently listing experiments would drop the requested
+			// trace on the floor; that's an invalid invocation, not a
+			// listing.
+			fmt.Fprintln(stderr, "-trace/-metrics require exactly one experiment id")
+			usage(stderr)
+			return 2
+		}
 		fmt.Fprintln(stdout, "available experiments:")
 		for _, e := range exp.All() {
 			fmt.Fprintf(stdout, "  %-14s %s\n", e.ID, e.Title)
@@ -137,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, id := range ids {
 		if es[i] = exp.ByID(id); es[i] == nil {
 			fmt.Fprintf(stderr, "unknown experiment %q; run without arguments for the list\n", id)
+			usage(stderr)
 			return 2
 		}
 	}
@@ -146,7 +189,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// reserved by that experiment's orchestration alone, not racing
 		// with other experiments on the pool.
 		if len(es) != 1 {
+			// "all" lands here too: it expands to every experiment, which
+			// would make the run numbering meaningless.
 			fmt.Fprintln(stderr, "-trace/-metrics require exactly one experiment id")
+			usage(stderr)
 			return 2
 		}
 		cfg.Trace = &trace.Collector{

@@ -1,0 +1,33 @@
+package campaign
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// The replay path's per-run budget: cellAt must stay in the
+// nanoseconds, and cacheKey's ~20µs is why Job memoizes keys for
+// replicated grids.
+func BenchmarkRunAtAndKey(b *testing.B) {
+	g, err := compile(smallSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("runAt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.runAt(uint64(i) % g.total)
+		}
+	})
+	b.Run("cellAt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.cellAt(uint64(i) % g.total)
+		}
+	})
+	b.Run("cacheKey", func(b *testing.B) {
+		sc, proto, seed, _ := g.runAt(0)
+		for i := 0; i < b.N; i++ {
+			scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
+		}
+	})
+}

@@ -1,0 +1,416 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/runcache"
+	"repro/internal/scenario"
+)
+
+// Status is a campaign job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Options configures campaign execution.
+type Options struct {
+	// Disk, when non-nil, memoizes every run's result persistently
+	// under its scenario.CacheKey. Re-running or resuming a campaign
+	// (or any campaign whose grid overlaps) hits disk instead of
+	// simulating.
+	Disk *runcache.Store
+	// Jobs is the worker count (default GOMAXPROCS). Worker count
+	// never affects the output bytes: shard boundaries and merge order
+	// are fixed by the spec.
+	Jobs int
+}
+
+// Progress is a point-in-time snapshot of a job, JSON-shaped for the
+// HTTP status endpoint.
+type Progress struct {
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	Status    Status `json:"status"`
+	Error     string `json:"error,omitempty"`
+	TotalRuns uint64 `json:"total_runs"`
+	RunsDone  uint64 `json:"runs_done"`
+	// Simulated counts runs actually executed by the engine; the rest
+	// were disk hits or collapsed in-flight duplicates.
+	Simulated uint64  `json:"simulated"`
+	DiskHits  uint64  `json:"disk_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	// ForkTrees/ForkRuns mirror scenario.ForkStats (process-wide).
+	ForkTrees int64 `json:"fork_trees"`
+	ForkRuns  int64 `json:"fork_runs"`
+	// Aggregates is the streaming snapshot over the contiguous merged
+	// prefix of shards — the same numbers the final result will
+	// publish, just over fewer runs.
+	Aggregates *Aggregates `json:"aggregates,omitempty"`
+}
+
+// Job executes one campaign: a sharded sweep of the spec's run grid
+// into streaming aggregators, memoized through the optional disk
+// store. Create with New, drive with Execute, observe with Progress.
+type Job struct {
+	g    *grid
+	id   string
+	opts Options
+
+	// flight collapses concurrent duplicate runs (replicas landing in
+	// different workers) without retaining results: the key is
+	// forgotten as soon as the flight lands, so memory stays bounded
+	// and later duplicates are served by the disk store instead.
+	flight *runcache.Flight[scenario.Result]
+
+	// keys memoizes the base grid's cache keys when Replicate > 1:
+	// replica r of run i shares run i's key, and computing a key costs
+	// ~20µs (a reflective digest of the device profile), which would
+	// dominate a cache-replay campaign. Sized to one replica — the
+	// base grid — so population-scale campaigns (small grid, huge
+	// Replicate) pay O(base), not O(runs). Filled before the shard
+	// workers start; read-only after.
+	keys  []runcache.Key
+	keyOK []bool
+	baseN uint64
+
+	nextShard atomic.Uint64
+	runsDone  atomic.Uint64
+	simulated atomic.Uint64
+	diskHits  atomic.Uint64
+
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+
+	mu        sync.Mutex
+	status    Status
+	err       error
+	total     *agg            // contiguous merged prefix
+	pending   map[uint64]*agg // out-of-order shards awaiting merge
+	nextMerge uint64
+	result    []byte // canonical aggregate bytes, set on done
+}
+
+// New compiles the spec into a runnable job. The spec is validated and
+// normalised; the returned job is in StatusQueued.
+func New(spec Spec, opts Options) (*Job, error) {
+	g, err := compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	id, err := g.spec.ID()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	return &Job{
+		g:        g,
+		id:       id,
+		opts:     opts,
+		flight:   runcache.NewFlight[scenario.Result](),
+		cancelCh: make(chan struct{}),
+		status:   StatusQueued,
+		total:    newAgg(g.cells()),
+		pending:  make(map[uint64]*agg),
+	}, nil
+}
+
+// ID returns the campaign's digest-derived identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the normalised spec.
+func (j *Job) Spec() Spec { return j.g.spec }
+
+// Cancel requests the job stop at the next run boundary. Completed
+// shards stay merged and every simulated result is already on disk, so
+// a resubmission resumes from the cache. Safe to call at any time, any
+// number of times.
+func (j *Job) Cancel() {
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+}
+
+func (j *Job) cancelled() bool {
+	select {
+	case <-j.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Execute runs the campaign to completion (or cancellation/failure)
+// and returns its terminal error, if any. It is the caller's single
+// blocking drive call; the server wraps it in a goroutine.
+func (j *Job) Execute() error {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		st := j.status
+		j.mu.Unlock()
+		return fmt.Errorf("campaign: job %s already %s", j.id, st)
+	}
+	j.status = StatusRunning
+	j.mu.Unlock()
+
+	shardSize := uint64(j.g.spec.ShardSize)
+	nShards := (j.g.total + shardSize - 1) / shardSize
+	j.memoizeKeys()
+
+	var wg sync.WaitGroup
+	for w := 0; w < j.opts.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := j.nextShard.Add(1) - 1
+				if s >= nShards || j.cancelled() || j.failed() {
+					return
+				}
+				if err := j.runShard(s, shardSize); err != nil {
+					j.fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Flush the disk store in every terminal state: a cancelled (or
+	// failed) campaign's simulated results are its resume state.
+	if serr := j.opts.Disk.Sync(); serr != nil {
+		j.fail(fmt.Errorf("campaign: disk sync: %w", serr))
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.err != nil:
+		j.status = StatusFailed
+		return j.err
+	case j.cancelled():
+		j.status = StatusCancelled
+		return nil
+	}
+	if j.nextMerge != nShards {
+		j.status = StatusFailed
+		j.err = fmt.Errorf("campaign: merged %d of %d shards", j.nextMerge, nShards)
+		return j.err
+	}
+	ag, err := j.g.aggregates(j.total)
+	if err == nil {
+		j.result, err = ag.MarshalCanonical()
+	}
+	if err != nil {
+		j.status = StatusFailed
+		j.err = err
+		return err
+	}
+	j.status = StatusDone
+	return nil
+}
+
+func (j *Job) failed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err != nil
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+	j.Cancel() // stop sibling workers promptly
+}
+
+// runShard folds runs [s·size, min((s+1)·size, total)) into a fresh
+// shard aggregate in index order, then delivers it for the in-order
+// merge. A panic anywhere in a run (engine bug, poisoned flight)
+// converts to a job failure rather than crashing the server.
+func (j *Job) runShard(s, size uint64) (err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			err = fmt.Errorf("campaign: run panicked in shard %d: %v", s, pv)
+		}
+	}()
+	lo, hi := s*size, (s+1)*size
+	if hi > j.g.total {
+		hi = j.g.total
+	}
+	a := newAgg(j.g.cells())
+	for i := lo; i < hi; i++ {
+		if j.cancelled() || j.failed() {
+			return nil // deliver nothing; shard will be missing → not merged
+		}
+		res, err := j.oneRun(i)
+		if err != nil {
+			return err
+		}
+		a.add(j.g.cellAt(i), &res)
+		j.runsDone.Add(1)
+	}
+	j.deliver(s, a)
+	return nil
+}
+
+// memoizeKeys pre-digests one replica's worth of cache keys when the
+// grid repeats. Disjoint index ranges per goroutine, so the fill is
+// race-free and the slices are immutable once Execute's workers start.
+func (j *Job) memoizeKeys() {
+	rep := j.g.spec.Replicate
+	if rep <= 1 {
+		return
+	}
+	j.baseN = j.g.total / uint64(rep)
+	j.keys = make([]runcache.Key, j.baseN)
+	j.keyOK = make([]bool, j.baseN)
+	var wg sync.WaitGroup
+	chunk := (j.baseN + uint64(j.opts.Jobs) - 1) / uint64(j.opts.Jobs)
+	for lo := uint64(0); lo < j.baseN; lo += chunk {
+		hi := lo + chunk
+		if hi > j.baseN {
+			hi = j.baseN
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sc, proto, seed, _ := j.g.runAt(i)
+				j.keys[i], j.keyOK[i] = scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// keyAt returns run i's cache key, from the memo when the grid
+// repeats.
+func (j *Job) keyAt(i uint64) (runcache.Key, bool) {
+	if j.keys != nil {
+		b := i % j.baseN
+		return j.keys[b], j.keyOK[b]
+	}
+	sc, proto, seed, _ := j.g.runAt(i)
+	return scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
+}
+
+// oneRun produces run i's result: disk hit, collapsed duplicate, or a
+// fresh simulation (persisted before returning). The scenario is only
+// constructed if the run actually simulates — on the replay path a run
+// is a key lookup, a disk read, and a decode.
+func (j *Job) oneRun(i uint64) (scenario.Result, error) {
+	sim := func() scenario.Result {
+		sc, proto, seed, _ := j.g.runAt(i)
+		j.simulated.Add(1)
+		return scenario.Run(sc, proto, scenario.Opts{Seed: seed})
+	}
+	key, ok := j.keyAt(i)
+	if !ok {
+		// Library scenarios are always digestible; this is a belt for
+		// future scenario kinds, not a hot path.
+		return sim(), nil
+	}
+	var runErr error
+	res := j.flight.Do(key, func() scenario.Result {
+		if j.opts.Disk != nil {
+			if b, hit, derr := j.opts.Disk.Get(key); derr != nil {
+				runErr = derr
+				return scenario.Result{}
+			} else if hit {
+				if r, cerr := decodeResult(b); cerr == nil {
+					j.diskHits.Add(1)
+					return r
+				}
+				// Version/layout mismatch: treat as a miss and
+				// re-simulate. Put below is a first-write-wins no-op,
+				// so the stale record stays until a cache rebuild.
+			}
+		}
+		r := sim()
+		if j.opts.Disk != nil {
+			if perr := j.opts.Disk.Put(key, encodeResult(r)); perr != nil {
+				runErr = perr
+			}
+		}
+		return r
+	})
+	return res, runErr
+}
+
+// deliver merges shard s's aggregate into the running total the moment
+// it becomes the next contiguous shard; earlier arrivals park in
+// pending. Merge order is therefore always 0,1,2,… regardless of
+// which worker finished when — the whole byte-identical-at-any-j
+// guarantee lives in this function. Pending holds at most ~Jobs
+// entries (a worker parks one shard then claims the next).
+func (j *Job) deliver(s uint64, a *agg) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pending[s] = a
+	for {
+		nxt, ok := j.pending[j.nextMerge]
+		if !ok {
+			return
+		}
+		delete(j.pending, j.nextMerge)
+		j.total.merge(nxt)
+		j.nextMerge++
+	}
+}
+
+// Progress snapshots the job. The aggregate snapshot covers the merged
+// contiguous prefix, so its numbers are exact for the runs they count.
+func (j *Job) Progress() Progress {
+	trees, forkRuns := scenario.ForkStats()
+	done := j.runsDone.Load()
+	sim := j.simulated.Load()
+	p := Progress{
+		ID:        j.id,
+		Name:      j.g.spec.Name,
+		TotalRuns: j.g.total,
+		RunsDone:  done,
+		Simulated: sim,
+		DiskHits:  j.diskHits.Load(),
+		ForkTrees: trees,
+		ForkRuns:  forkRuns,
+	}
+	if done > 0 {
+		p.HitRate = 1 - float64(sim)/float64(done)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p.Status = j.status
+	if j.err != nil {
+		p.Error = j.err.Error()
+	}
+	if ag, err := j.g.aggregates(j.total); err == nil {
+		p.Aggregates = &ag
+	}
+	return p
+}
+
+// Result returns the canonical aggregate bytes; ok is false until the
+// job reaches StatusDone.
+func (j *Job) Result() (b []byte, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.status == StatusDone
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

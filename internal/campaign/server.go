@@ -1,0 +1,211 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/runcache"
+)
+
+// Server is the campaign control plane behind `emptcpsim serve`: an
+// HTTP+JSON API to submit campaigns, watch their streaming progress,
+// fetch canonical aggregates, and cancel. Campaigns are identified by
+// spec digest, so submission is idempotent: re-posting a spec attaches
+// to the existing job (or, after a failure or cancellation, starts a
+// fresh one that resumes from the disk cache).
+//
+//	POST /campaigns            submit a Spec           → 202 Progress
+//	GET  /campaigns            list                    → 200 [Progress]
+//	GET  /campaigns/{id}       status + snapshot       → 200 Progress
+//	GET  /campaigns/{id}/result canonical aggregates   → 200 JSON / 409 Progress
+//	POST /campaigns/{id}/cancel                        → 202 Progress
+//	GET  /healthz                                      → 200 ok
+type Server struct {
+	disk *runcache.Store
+	jobs int
+
+	mu     sync.Mutex
+	byID   map[string]*Job
+	order  []string // submission order, for stable listings
+	queue  chan *Job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server executing campaigns one at a time (each
+// job already parallelises across cores) against the given disk store.
+// jobs ≤ 0 means GOMAXPROCS workers per campaign.
+func NewServer(disk *runcache.Store, jobs int) *Server {
+	s := &Server{
+		disk: disk,
+		jobs: jobs,
+		byID: make(map[string]*Job),
+		// A deep queue so submissions never block; the dispatcher
+		// drains it FIFO.
+		queue: make(chan *Job, 1024),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// dispatch runs queued jobs sequentially. Sequential execution keeps
+// the memory envelope at one campaign's worth and makes progress
+// reporting honest (a queued campaign reports queued, not starved).
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		job.Execute() // terminal state and error live on the job
+	}
+}
+
+// Close stops accepting work, cancels the running and queued jobs,
+// waits for the dispatcher to drain, and syncs the disk store — the
+// graceful-shutdown checkpoint: everything simulated so far is
+// durable, so the next server resumes from disk.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, j := range s.byID {
+		j.Cancel()
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.disk.Sync()
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// handleSubmit accepts a Spec and queues it. Idempotent by digest: a
+// queued/running/done job with the same digest is returned as-is; a
+// failed or cancelled one is replaced by a fresh job, which resumes
+// from whatever the previous attempt persisted.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: bad spec: %w", err))
+		return
+	}
+	job, err := New(spec, Options{Disk: s.disk, Jobs: s.jobs})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("campaign: server shutting down"))
+		return
+	}
+	if prev, ok := s.byID[job.ID()]; ok {
+		st := prev.Progress().Status
+		if st != StatusFailed && st != StatusCancelled {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, prev.Progress())
+			return
+		}
+		// Replace the dead attempt; its simulated prefix is on disk.
+	} else {
+		s.order = append(s.order, job.ID())
+	}
+	s.byID[job.ID()] = job
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("campaign: queue full"))
+		return
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, job.Progress())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.byID[id])
+	}
+	s.mu.Unlock()
+	out := make([]Progress, 0, len(jobs))
+	for _, j := range jobs {
+		p := j.Progress()
+		p.Aggregates = nil // listings stay light
+		out = append(out, p)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *Job {
+	s.mu.Lock()
+	j := s.byID[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("campaign: no campaign %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Progress())
+	}
+}
+
+// handleResult serves the stored canonical bytes verbatim — not a
+// re-marshal — so every GET of a done campaign returns identical
+// bytes, and those bytes diff clean against a `-j 1` reference run.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	if b, ok := j.Result(); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		return
+	}
+	writeJSON(w, http.StatusConflict, j.Progress())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		j.Cancel()
+		writeJSON(w, http.StatusAccepted, j.Progress())
+	}
+}

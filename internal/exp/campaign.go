@@ -1,0 +1,26 @@
+package exp
+
+import "repro/internal/campaign"
+
+// WildSpec compiles the paper's §5.1 in-the-wild measurement design
+// into a campaign.Spec: the four WiFi × LTE quality categories crossed
+// with the three server deployments (WDC, AMS, SNG) and the
+// whisker-figure protocol trio, with `population` seeded downloads per
+// category × location cell. It is the same grid wildRuns flattens for
+// fig15/fig16, lifted to the campaign engine so population-scale
+// versions of those figures (replicated millions of devices) run
+// behind the persistent cache and `emptcpsim serve` instead of
+// in-process.
+func WildSpec(device string, sizeMB float64, population, replicate int) campaign.Spec {
+	return campaign.Spec{
+		Name:      "wild",
+		Device:    device,
+		WiFi:      []string{"bad", "good"},
+		LTE:       []string{"bad", "good"},
+		Locations: []string{"wdc", "ams", "sng"},
+		SizesMB:   []float64{sizeMB},
+		Protocols: []string{"mptcp", "emptcp", "tcp-wifi"},
+		Seeds:     campaign.SeedRange{Base: 0, Count: population},
+		Replicate: replicate,
+	}
+}

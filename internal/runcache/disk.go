@@ -1,0 +1,338 @@
+// Disk backend: a persistent content-addressed store under the same
+// sha256 Keys the in-process cache uses, so campaigns dedupe and resume
+// across invocations. The format is crash-safe by construction:
+// append-only segment files of self-checking records, an in-memory index
+// rebuilt on open, and torn tails (a crash mid-append) truncated during
+// recovery. Values are opaque bytes; the caller owns the codec (the
+// campaign layer encodes scenario.Results), which keeps the store
+// generic and the on-disk format independent of Go struct layout.
+//
+// Record layout (little-endian):
+//
+//	[4B magic "eMPc"] [32B key] [4B value length] [value] [4B crc32]
+//
+// where the crc covers key, length, and value. Records are immutable
+// once written; a key is stored at most once (first write wins — values
+// are pure functions of their content key, so rewrites are identical).
+package runcache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+var diskMagic = [4]byte{'e', 'M', 'P', 'c'}
+
+// maxSegmentSize is the rotation threshold for the active segment.
+const maxSegmentSize = 64 << 20
+
+// recHeaderSize is magic + key + value length.
+const recHeaderSize = 4 + 32 + 4
+
+// diskLoc locates one stored value inside a segment.
+type diskLoc struct {
+	seg  int32  // index into Store.segs
+	off  int64  // offset of the value bytes
+	size uint32 // value length
+}
+
+// Store is the disk tier. It is safe for concurrent use; Get is a
+// single positioned read, Put serializes on the active segment.
+type Store struct {
+	dir string
+
+	mu     sync.RWMutex // guards index, segs, active
+	index  map[Key]diskLoc
+	segs   []*os.File // all segments, read handles; last is the active one
+	active *os.File   // append handle for the last segment
+	size   int64      // current size of the active segment
+
+	nGet, nGetHit, nPut atomic.Uint64
+}
+
+// OpenStore opens (creating if needed) the disk cache rooted at dir and
+// rebuilds the in-memory index from the segment files. A torn record at
+// the tail of any segment — the footprint of a crash mid-append — is
+// truncated away; everything before it is kept.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runcache: open store: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "cache-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	s := &Store{dir: dir, index: make(map[Key]diskLoc)}
+	for _, name := range names {
+		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("runcache: open segment: %w", err)
+		}
+		end, err := s.recoverSegment(f, int32(len(s.segs)))
+		if err != nil {
+			f.Close()
+			s.Close()
+			return nil, err
+		}
+		s.segs = append(s.segs, f)
+		s.size = end
+	}
+	if len(s.segs) == 0 {
+		if err := s.rotateLocked(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	} else {
+		s.active = s.segs[len(s.segs)-1]
+	}
+	return s, nil
+}
+
+// recoverSegment scans one segment sequentially, indexing every intact
+// record and truncating the file at the first torn or corrupt one.
+func (s *Store) recoverSegment(f *os.File, segIdx int32) (int64, error) {
+	r := io.Reader(f)
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	var val []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			break // clean EOF or torn header: truncate here
+		}
+		if [4]byte(hdr[:4]) != diskMagic {
+			break
+		}
+		n := binary.LittleEndian.Uint32(hdr[36:40])
+		if cap(val) < int(n)+4 {
+			val = make([]byte, n+4)
+		}
+		val = val[:n+4]
+		if _, err := io.ReadFull(r, val); err != nil {
+			break
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:]) // key + length
+		crc.Write(val[:n])
+		if crc.Sum32() != binary.LittleEndian.Uint32(val[n:]) {
+			break
+		}
+		var k Key
+		copy(k[:], hdr[4:36])
+		if _, dup := s.index[k]; !dup {
+			s.index[k] = diskLoc{seg: segIdx, off: off + recHeaderSize, size: n}
+		}
+		off += recHeaderSize + int64(n) + 4
+	}
+	if err := f.Truncate(off); err != nil {
+		return 0, fmt.Errorf("runcache: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// rotateLocked starts a fresh active segment. Callers hold mu (or own
+// the store exclusively, as OpenStore does).
+func (s *Store) rotateLocked() error {
+	name := filepath.Join(s.dir, fmt.Sprintf("cache-%06d.seg", len(s.segs)+1))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("runcache: new segment: %w", err)
+	}
+	s.segs = append(s.segs, f)
+	s.active = f
+	s.size = 0
+	return nil
+}
+
+// Get returns the stored value for k, or ok=false when absent. The
+// returned slice is freshly allocated and owned by the caller.
+func (s *Store) Get(k Key) ([]byte, bool, error) {
+	if s == nil {
+		return nil, false, nil
+	}
+	s.nGet.Add(1)
+	s.mu.RLock()
+	loc, ok := s.index[k]
+	var f *os.File
+	if ok {
+		f = s.segs[loc.seg]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false, nil
+	}
+	v := make([]byte, loc.size)
+	if _, err := f.ReadAt(v, loc.off); err != nil {
+		return nil, false, fmt.Errorf("runcache: reading value: %w", err)
+	}
+	s.nGetHit.Add(1)
+	return v, true, nil
+}
+
+// Has reports whether k is stored, without reading the value.
+func (s *Store) Has(k Key) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	_, ok := s.index[k]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Put appends (k, v) to the active segment. Storing a key that is
+// already present is a no-op: values are content-addressed, so a
+// duplicate write is by definition identical.
+func (s *Store) Put(k Key, v []byte) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.index[k]; dup {
+		return nil
+	}
+	if s.size >= maxSegmentSize {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	rec := make([]byte, recHeaderSize+len(v)+4)
+	copy(rec[:4], diskMagic[:])
+	copy(rec[4:36], k[:])
+	binary.LittleEndian.PutUint32(rec[36:40], uint32(len(v)))
+	copy(rec[recHeaderSize:], v)
+	crc := crc32.NewIEEE()
+	crc.Write(rec[4:recHeaderSize])
+	crc.Write(v)
+	binary.LittleEndian.PutUint32(rec[recHeaderSize+len(v):], crc.Sum32())
+	if _, err := s.active.Write(rec); err != nil {
+		return fmt.Errorf("runcache: appending record: %w", err)
+	}
+	s.index[k] = diskLoc{seg: int32(len(s.segs) - 1), off: s.size + recHeaderSize, size: uint32(len(v))}
+	s.size += int64(len(rec))
+	s.nPut.Add(1)
+	return nil
+}
+
+// Len reports the number of distinct keys stored.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// DiskStats reports lookups, lookup hits, and appended records since
+// open. Safe to call concurrently.
+func (s *Store) DiskStats() (gets, hits, puts uint64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	return s.nGet.Load(), s.nGetHit.Load(), s.nPut.Load()
+}
+
+// Sync flushes the active segment to stable storage — the checkpoint
+// operation graceful shutdown relies on.
+func (s *Store) Sync() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// Close syncs and releases every segment handle. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.active != nil {
+		if err := s.active.Sync(); err != nil {
+			first = err
+		}
+	}
+	for _, f := range s.segs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs, s.active = nil, nil
+	return first
+}
+
+// Flight is a non-retaining single-flight: concurrent Do calls with the
+// same key run fn once and share its result, and the key is forgotten as
+// soon as the flight lands. It is the coordination layer between the
+// disk store (which persists results) and a campaign's workers (which
+// must not simulate the same key twice concurrently) — unlike Cache it
+// holds no values, so memory stays bounded by the number of in-flight
+// keys, not distinct ones.
+type Flight[V any] struct {
+	mu sync.Mutex
+	m  map[Key]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done     chan struct{}
+	val      V
+	panicked any
+}
+
+// NewFlight returns an empty flight group.
+func NewFlight[V any]() *Flight[V] {
+	return &Flight[V]{m: make(map[Key]*flightCall[V])}
+}
+
+// Do returns fn's result for k, running it once across concurrent
+// callers. A panic in fn propagates to every caller of that flight;
+// subsequent calls with the same key start a fresh flight.
+func (g *Flight[V]) Do(k Key, fn func() V) V {
+	g.mu.Lock()
+	if c, ok := g.m[k]; ok {
+		g.mu.Unlock()
+		<-c.done
+		if c.panicked != nil {
+			panic(c.panicked)
+		}
+		return c.val
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.m[k] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+		if r := recover(); r != nil {
+			c.panicked = r
+			close(c.done)
+			panic(r)
+		}
+		close(c.done)
+	}()
+	c.val = fn()
+	return c.val
+}

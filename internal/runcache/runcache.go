@@ -14,7 +14,10 @@
 // result is returned by value, never aliased.
 package runcache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Key is a canonical content digest of one run's inputs — in practice a
 // SHA-256 of the scenario configuration, protocol, seed, and options.
@@ -43,10 +46,11 @@ type shard[V any] struct {
 type Cache[V any] struct {
 	shards [shardCount]shard[V]
 
-	hits  sync.Mutex // guards the counters below
-	nHit  uint64
-	nMiss uint64
-	nWait uint64 // hits that blocked on an in-flight compute
+	// Statistics are lock-free atomics so the hot path never serializes
+	// on a counter mutex; FlightStats assembles a consistent snapshot.
+	nHit  atomic.Uint64
+	nMiss atomic.Uint64
+	nWait atomic.Uint64 // hits that blocked on an in-flight compute
 }
 
 // New returns an empty cache.
@@ -87,9 +91,11 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 			waited = true
 			<-e.done
 		}
-		c.count(hitSettled)
+		// Count the hit before the wait: FlightStats reads waits before
+		// hits, so "waits ≤ hits" holds at every instant.
+		c.nHit.Add(1)
 		if waited {
-			c.count(hitWaited)
+			c.nWait.Add(1)
 		}
 		if e.panicked != nil {
 			panic(e.panicked)
@@ -97,7 +103,7 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 		return e.val
 	}
 
-	c.count(miss)
+	c.nMiss.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			e.panicked = r
@@ -110,50 +116,38 @@ func (c *Cache[V]) Do(k Key, fn func() V) V {
 	return e.val
 }
 
-type counter int
-
-const (
-	hitSettled counter = iota
-	hitWaited
-	miss
-)
-
-func (c *Cache[V]) count(which counter) {
-	c.hits.Lock()
-	switch which {
-	case hitSettled:
-		c.nHit++
-	case hitWaited:
-		c.nWait++
-	case miss:
-		c.nMiss++
-	}
-	c.hits.Unlock()
-}
-
 // Stats reports the number of cache hits and misses so far. Safe to
 // call concurrently with Do.
 func (c *Cache[V]) Stats() (hits, misses uint64) {
-	if c == nil {
-		return 0, 0
-	}
-	c.hits.Lock()
-	hits, misses = c.nHit, c.nMiss
-	c.hits.Unlock()
+	hits, misses, _ = c.FlightStats()
 	return hits, misses
 }
 
 // FlightStats reports hits, misses, and single-flight waits — hits that
 // arrived while the key was still computing and blocked for the shared
 // result instead of recomputing it. Safe to call concurrently with Do.
+//
+// The counters are independent atomics, so a naive three-load read could
+// tear: a Do between loads would show, say, the wait without its hit.
+// FlightStats double-reads until the triple is stable, which yields a
+// snapshot no concurrent reporter (emptcpsim -v, the serve-mode progress
+// endpoint) can observe mid-update. The load order — waits, then hits,
+// then misses — additionally preserves the structural invariants
+// (waits ≤ hits; every hit's miss already counted) even on the bounded
+// fallback under pathological contention.
 func (c *Cache[V]) FlightStats() (hits, misses, waits uint64) {
 	if c == nil {
 		return 0, 0, 0
 	}
-	c.hits.Lock()
-	hits, misses, waits = c.nHit, c.nMiss, c.nWait
-	c.hits.Unlock()
-	return hits, misses, waits
+	w, h, m := c.nWait.Load(), c.nHit.Load(), c.nMiss.Load()
+	for i := 0; i < 64; i++ {
+		w2, h2, m2 := c.nWait.Load(), c.nHit.Load(), c.nMiss.Load()
+		if w == w2 && h == h2 && m == m2 {
+			break
+		}
+		w, h, m = w2, h2, m2
+	}
+	return h, m, w
 }
 
 // Len reports the number of distinct keys resident in the cache,

@@ -28,6 +28,14 @@ func NewRunCache() *RunCache { return runcache.New[Result]() }
 // contents and two scenarios digest equal iff a run cannot tell them
 // apart. The per-run RNG is rebuilt from Seed, so equal digests imply
 // bit-identical results.
+// CacheKey exposes the run-content digest to persistence layers outside
+// this package — the campaign engine keys its disk cache with it, so an
+// on-disk result is exactly as trustworthy as an in-process cached one:
+// equal digests imply bit-identical results.
+func CacheKey(sc Scenario, proto Protocol, opt Opts) (runcache.Key, bool) {
+	return cacheKey(sc, proto, opt)
+}
+
 func cacheKey(sc Scenario, proto Protocol, opt Opts) (runcache.Key, bool) {
 	if sc.linkSig == "" || opt.Recorder != nil {
 		return runcache.Key{}, false

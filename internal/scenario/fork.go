@@ -82,7 +82,7 @@ type forkCheckpoint struct {
 	complete    float64
 }
 
-var forkCkPool = sync.Pool{New: func() any { return new(forkCheckpoint) }}
+var forkCkPool = &sync.Pool{New: func() any { return new(forkCheckpoint) }}
 
 // checkpoint saves the complete run state into ck. The engine must be
 // between events (after RunBefore).
@@ -162,38 +162,65 @@ func RunSweep(base Scenario, points []SweepPoint, proto Protocol, opt Opts) []Re
 		return results
 	}
 	var (
-		once   sync.Once
-		tree   []Result
-		treeOK bool
+		once    sync.Once
+		tree    []Result
+		treePan []any
+		treeOK  bool
 	)
-	compute := func() { tree, treeOK = runForkTree(base, points, proto, opt) }
+	compute := func() { tree, treePan, treeOK = runForkTree(base, points, proto, opt) }
+	// A panic in one point's fork (a Mutate or a run blowing up) is
+	// contained to that point: siblings still produce their bit-identical
+	// results (and populate their cache entries), and the first panic
+	// re-raises after the loop so the failure is not swallowed. Only the
+	// failing point's cache entry poisons.
+	var pendingPanic any
 	for i := range points {
 		get := func() Result {
 			once.Do(compute)
 			if !treeOK {
 				// The launched base revealed a non-checkpointable piece
-				// (custom link process, unexpected wiring): simulate the
-				// point directly. The enclosing cache Do (if any) already
-				// holds this point's entry, so bypass Run's cache lookup.
+				// (custom link process, unexpected wiring) or died before
+				// any point ran: simulate the point directly. The
+				// enclosing cache Do (if any) already holds this point's
+				// entry, so bypass Run's cache lookup.
 				return runPooled(points[i].Scenario, proto, opt)
+			}
+			if treePan != nil {
+				if p := treePan[i]; p != nil {
+					panic(p)
+				}
 			}
 			return tree[i]
 		}
-		if opt.Cache != nil {
-			if k, ok := cacheKey(points[i].Scenario, proto, opt); ok {
-				results[i] = opt.Cache.Do(k, get)
-				continue
+		func() {
+			defer func() {
+				if r := recover(); r != nil && pendingPanic == nil {
+					pendingPanic = r
+				}
+			}()
+			if opt.Cache != nil {
+				if k, ok := cacheKey(points[i].Scenario, proto, opt); ok {
+					results[i] = opt.Cache.Do(k, get)
+					return
+				}
 			}
-		}
-		results[i] = get()
+			results[i] = get()
+		}()
+	}
+	if pendingPanic != nil {
+		panic(pendingPanic)
 	}
 	return results
 }
 
 // runForkTree simulates one sweep family as a prefix-shared tree on a
 // pooled RunState. It returns ok=false when the launched run turns out
-// not to be checkpointable.
-func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) ([]Result, bool) {
+// not to be checkpointable. A point whose fork panics after the barrier
+// snapshot is reported in the panics slice (nil when every point
+// completed): the checkpoint rewinds the shared state, sibling points
+// fork from it untouched, and every pooled buffer — the RunState and the
+// forkCheckpoint holding the sim.Checkpoint — still returns to its pool.
+func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) ([]Result, []any, bool) {
 	st := statePool.Get().(*RunState)
 	defer statePool.Put(st)
 
@@ -204,13 +231,13 @@ func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) (
 		st.tickRecs = append(st.tickRecs, tr)
 	})
 	if len(r.conns) != 1 || len(r.ctls) != 1 {
-		return nil, false
+		return nil, nil, false
 	}
 	if _, ok := r.wifiProc.(link.Snapshotter); !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	if _, ok := r.lteProc.(link.Snapshotter); !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	r.eng.Run()
 	baseRes := r.collect()
@@ -231,7 +258,7 @@ func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) (
 	}
 	nForkTrees.Add(1)
 	if len(divs) == 0 {
-		return results, true
+		return results, nil, true
 	}
 	sort.Slice(divs, func(a, b int) bool { return divs[a].rec < divs[b].rec })
 
@@ -243,19 +270,36 @@ func runForkTree(base Scenario, points []SweepPoint, proto Protocol, opt Opts) (
 	r = st.launch(base, proto, opt, nil)
 	ck := forkCkPool.Get().(*forkCheckpoint)
 	defer forkCkPool.Put(ck)
+	var panics []any
 	for gi := 0; gi < len(divs); {
 		at := recs[divs[gi].rec].At
 		r.eng.RunBefore(at)
 		st.checkpoint(ck)
 		for ; gi < len(divs) && recs[divs[gi].rec].At == at; gi++ {
 			st.restore(ck)
-			pt := &points[divs[gi].pt]
-			pt.Mutate(r.ctls[0])
-			r.eng.Run()
-			results[divs[gi].pt] = r.collect()
-			nForkRuns.Add(1)
+			pi := divs[gi].pt
+			if pv := forkPoint(r, &points[pi], &results[pi]); pv != nil {
+				// The point died mid-fork. The next restore rewinds the
+				// shared state to the barrier, so siblings are unaffected;
+				// the panic value is delivered with this point's result.
+				if panics == nil {
+					panics = make([]any, len(points))
+				}
+				panics[pi] = pv
+			}
 		}
 		st.restore(ck)
 	}
-	return results, true
+	return results, panics, true
+}
+
+// forkPoint runs one restored fork to completion, converting a panic in
+// the point's Mutate or simulation into a recoverable per-point value.
+func forkPoint(r *run, pt *SweepPoint, out *Result) (pv any) {
+	defer func() { pv = recover() }()
+	pt.Mutate(r.ctls[0])
+	r.eng.Run()
+	*out = r.collect()
+	nForkRuns.Add(1)
+	return nil
 }

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"reflect"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/link"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// countingPools swaps the package pools for counting ones so the tests
+// can assert that error paths return every pooled object. GC is disabled
+// for the duration: sync.Pool may legitimately drop items at a GC, which
+// would make the counts meaningless.
+func countingPools(t *testing.T) (states, cks *atomic.Int64) {
+	t.Helper()
+	oldState, oldCk := statePool, forkCkPool
+	oldGC := debug.SetGCPercent(-1)
+	states, cks = new(atomic.Int64), new(atomic.Int64)
+	statePool = &sync.Pool{New: func() any { states.Add(1); return new(RunState) }}
+	forkCkPool = &sync.Pool{New: func() any { cks.Add(1); return new(forkCheckpoint) }}
+	t.Cleanup(func() {
+		statePool, forkCkPool = oldState, oldCk
+		debug.SetGCPercent(oldGC)
+	})
+	return states, cks
+}
+
+// TestForkPointPanicContained injects a panic into each sweep point's
+// Mutate in turn and asserts the three error-path guarantees: the panic
+// still surfaces from RunSweep, sibling points produce results
+// bit-identical to fresh unforked runs (the shared base run is not
+// poisoned), and neither the pooled RunState nor the fork checkpoint —
+// the owner of the pooled sim.Checkpoint — leaks across failures.
+func TestForkPointPanicContained(t *testing.T) {
+	states, cks := countingPools(t)
+
+	mk := func() (Scenario, []SweepPoint) {
+		return mkSweep(0, 4, 4.5, 256*units.KB, false)
+	}
+	base, refPoints := mk()
+	opt := Opts{Seed: 0}
+	if !forkEligible(base, EMPTCP, opt) {
+		t.Fatal("sweep unexpectedly ineligible")
+	}
+	// Fresh-state reference results, bypassing pools and cache entirely.
+	want := make([]Result, len(refPoints))
+	for i := range refPoints {
+		want[i] = new(RunState).runOne(refPoints[i].Scenario, EMPTCP, opt)
+		normNaN(&want[i])
+	}
+
+	for sab := range refPoints {
+		_, runs0 := ForkStats()
+		cache := NewRunCache()
+		base, points := mk()
+		origMutate := points[sab].Mutate
+		var mutated atomic.Bool
+		points[sab].Mutate = func(c *core.Controller) {
+			mutated.Store(true)
+			panic("injected mid-point")
+		}
+
+		var got []Result
+		pv := func() (pv any) {
+			defer func() { pv = recover() }()
+			got = RunSweep(base, points, EMPTCP, Opts{Seed: 0, Cache: cache})
+			return nil
+		}()
+		_, runs1 := ForkStats()
+
+		if !mutated.Load() {
+			// This point never diverges from the base, so its Mutate (and
+			// the injection) never runs; the sweep must simply succeed.
+			if pv != nil {
+				t.Fatalf("point %d: unexpected panic %v", sab, pv)
+			}
+			continue
+		}
+		if pv == nil {
+			t.Fatalf("point %d: injected panic did not surface", sab)
+		}
+		if pv != "injected mid-point" {
+			t.Fatalf("point %d: panic value %v", sab, pv)
+		}
+		if got != nil {
+			t.Fatalf("point %d: RunSweep returned results despite panicking", sab)
+		}
+		if runs1 <= runs0 {
+			t.Fatalf("point %d: fork path did not execute", sab)
+		}
+
+		// Sibling results were computed and cached during the panicking
+		// sweep; fetching them through the same cache must not
+		// re-simulate and must be bit-identical to fresh runs.
+		_, misses0 := cache.Stats()
+		for i := range refPoints {
+			if i == sab {
+				continue
+			}
+			res := Run(refPoints[i].Scenario, EMPTCP, Opts{Seed: 0, Cache: cache})
+			normNaN(&res)
+			if !reflect.DeepEqual(res, want[i]) {
+				t.Errorf("point %d (sabotaged %d): sibling result differs from fresh run\nwant: %+v\ngot:  %+v",
+					i, sab, want[i], res)
+			}
+		}
+		if _, misses1 := cache.Stats(); misses1 != misses0 {
+			t.Errorf("sabotaged %d: sibling lookups re-simulated (%d new misses) — base result was poisoned",
+				sab, misses1-misses0)
+		}
+
+		// The sabotaged point's own cache entry is poisoned (a panicking
+		// run is a bug, not a transient) ...
+		repanic := func() (pv any) {
+			defer func() { pv = recover() }()
+			Run(refPoints[sab].Scenario, EMPTCP, Opts{Seed: 0, Cache: cache})
+			return nil
+		}()
+		if repanic != "injected mid-point" {
+			t.Errorf("sabotaged %d: poisoned entry re-panicked with %v", sab, repanic)
+		}
+		// ... but without the cache the point simulates normally.
+		clean := Run(refPoints[sab].Scenario, EMPTCP, Opts{Seed: 0})
+		normNaN(&clean)
+		if !reflect.DeepEqual(clean, want[sab]) {
+			t.Errorf("sabotaged %d: uncached rerun differs from fresh run", sab)
+		}
+		points[sab].Mutate = origMutate
+	}
+
+	// Every sweep above (plus the cache-probe runs) must have recycled
+	// the same pooled objects: failures may not drain the pools. Under
+	// -race sync.Pool drops Puts at random, so only the bit-identity
+	// assertions above are meaningful there.
+	if raceEnabled {
+		return
+	}
+	if n := states.Load(); n > 2 {
+		t.Errorf("RunState pool allocated %d states across panicking sweeps, want ≤ 2", n)
+	}
+	if n := cks.Load(); n > 2 {
+		t.Errorf("fork checkpoint pool allocated %d checkpoints across panicking sweeps, want ≤ 2", n)
+	}
+}
+
+// TestRunPooledPanicReturnsState pins the runPooled error path: a run
+// that panics mid-launch must still return its RunState to the pool, and
+// the recycled state must keep producing bit-identical results.
+func TestRunPooledPanicReturnsState(t *testing.T) {
+	states, _ := countingPools(t)
+
+	good := StaticLab(s3(), 4, 4.5, workload.FileDownload{Size: 64 * units.KB})
+	ref := new(RunState).runOne(good, EMPTCP, Opts{Seed: 5})
+	normNaN(&ref)
+
+	bad := good
+	bad.WiFi = func(*sim.Engine, *simrng.Source) link.Process { panic("launch failure") }
+
+	for i := 0; i < 8; i++ {
+		pv := func() (pv any) {
+			defer func() { pv = recover() }()
+			Run(bad, EMPTCP, Opts{Seed: int64(i)})
+			return nil
+		}()
+		if pv != "launch failure" {
+			t.Fatalf("iteration %d: panic %v", i, pv)
+		}
+		// A healthy run on the recycled (mid-launch-abandoned) state.
+		res := Run(good, EMPTCP, Opts{Seed: 5})
+		normNaN(&res)
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("iteration %d: pooled run after panic differs from fresh-state run", i)
+		}
+	}
+	if n := states.Load(); !raceEnabled && n > 2 {
+		t.Errorf("pool allocated %d states across %d panicking runs, want ≤ 2 (states leaked)", n, 8)
+	}
+}

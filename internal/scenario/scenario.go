@@ -250,9 +250,13 @@ func Run(sc Scenario, proto Protocol, opt Opts) Result {
 
 func runPooled(sc Scenario, proto Protocol, opt Opts) Result {
 	st := statePool.Get().(*RunState)
-	res := st.runOne(sc, proto, opt)
-	statePool.Put(st)
-	return res
+	// Deferred so a panicking run still returns its state to the pool:
+	// reset rebuilds every piece from scratch, so a state abandoned
+	// mid-run is as reusable as a clean one, and the pool does not
+	// drain one slot per failure (the allocation mirror of PR 6's
+	// round-record leak).
+	defer statePool.Put(st)
+	return st.runOne(sc, proto, opt)
 }
 
 // runOne executes one run on this state's reused allocations.

@@ -40,7 +40,9 @@ type RunState struct {
 	tickRecs []core.TickRecord
 }
 
-var statePool = sync.Pool{New: func() any { return new(RunState) }}
+// statePool is a pointer so the leak-regression tests can swap in a
+// counting pool (sync.Pool values cannot be reassigned once used).
+var statePool = &sync.Pool{New: func() any { return new(RunState) }}
 
 // reset rebuilds the run bookkeeping for one (scenario, protocol, opts)
 // triple on the state's reused engine, accountant, and arena.

@@ -1,0 +1,139 @@
+// Streaming moment accumulation for population-scale aggregation.
+//
+// The campaign engine (internal/campaign) streams millions of runs
+// through fixed-memory aggregators: per-run results are folded into a
+// Stream and discarded, and shards of the run grid are reduced
+// independently before being merged in shard order. Stream therefore
+// needs two properties the slice-based helpers above cannot give:
+// constant memory per metric, and a Merge whose result is independent —
+// up to floating-point rounding — of how the sample sequence was
+// partitioned into shards. Both rest on Chan et al.'s pairwise update
+// formulas for (count, mean, M2), the parallel generalisation of
+// Welford's algorithm.
+//
+// Bit-level determinism is still order-sensitive: merging A then B is
+// not bit-identical to B then A. Callers that need byte-identical
+// aggregates (the campaign executor does) must fix the shard boundaries
+// and the merge order; TestStreamMergeAssociativity pins the tolerance
+// the unordered property holds to, and the executor's determinism tests
+// pin the byte-identical ordered case.
+package stats
+
+import "math"
+
+// Stream accumulates count, mean, second central moment, and extrema of
+// a sample sequence in O(1) memory. The zero value is an empty stream.
+type Stream struct {
+	N    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample into the stream (Welford's update).
+func (s *Stream) Add(x float64) {
+	s.N++
+	if s.N == 1 {
+		s.mean, s.m2 = x, 0
+		s.min, s.max = x, x
+		return
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.N)
+	s.m2 += d * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// Merge folds the other stream into s (Chan et al.'s pairwise formula),
+// as if every sample added to o had been added to s. Merging is
+// associative and commutative up to floating-point rounding; the exact
+// bit pattern depends on the merge order.
+func (s *Stream) Merge(o Stream) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := float64(s.N)
+	m := float64(o.N)
+	d := o.mean - s.mean
+	tot := n + m
+	s.mean += d * m / tot
+	s.m2 += o.m2 + d*d*n*m/tot
+	s.N += o.N
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Mean returns the running mean, or NaN for an empty stream.
+func (s *Stream) Mean() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// StdDev returns the sample standard deviation (Bessel-corrected,
+// matching StdDev on the full slice). It returns 0 for fewer than two
+// samples.
+func (s *Stream) StdDev() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	v := s.m2 / float64(s.N-1)
+	if v < 0 {
+		// Guard against rounding pushing a near-zero moment negative.
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// SEM returns the standard error of the mean, s/sqrt(n), or NaN for an
+// empty stream.
+func (s *Stream) SEM() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.StdDev() / math.Sqrt(float64(s.N))
+}
+
+// Min returns the smallest sample, or NaN for an empty stream.
+func (s *Stream) Min() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest sample, or NaN for an empty stream.
+func (s *Stream) Max() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// Summary converts the stream into the Summary the report tables print.
+func (s *Stream) Summary() Summary {
+	return Summary{N: int(s.N), Mean: s.Mean(), SEM: s.SEM(), Min: s.Min(), Max: s.Max()}
+}
+
+// CI95 returns the normal-approximation 95% confidence interval of the
+// mean, mean ± 1.96·SEM — the interval the campaign's population-scale
+// tables report. Both bounds are NaN for an empty stream.
+func (s *Stream) CI95() (lo, hi float64) {
+	m, sem := s.Mean(), s.SEM()
+	return m - 1.96*sem, m + 1.96*sem
+}

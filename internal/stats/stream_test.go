@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// relClose reports whether a and b agree within rel relative tolerance
+// (absolute near zero).
+func relClose(a, b, rel float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) == math.IsNaN(b)
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= rel*scale
+}
+
+func checkStreamMatchesSlice(t *testing.T, s Stream, xs []float64, rel float64, what string) {
+	t.Helper()
+	if int(s.N) != len(xs) {
+		t.Fatalf("%s: N=%d want %d", what, s.N, len(xs))
+	}
+	if !relClose(s.Mean(), Mean(xs), rel) {
+		t.Errorf("%s: mean %v want %v", what, s.Mean(), Mean(xs))
+	}
+	if !relClose(s.StdDev(), StdDev(xs), rel) {
+		t.Errorf("%s: stddev %v want %v", what, s.StdDev(), StdDev(xs))
+	}
+	if !relClose(s.SEM(), SEM(xs), rel) {
+		t.Errorf("%s: sem %v want %v", what, s.SEM(), SEM(xs))
+	}
+	sum := Summarize(xs)
+	if s.Min() != sum.Min || s.Max() != sum.Max {
+		t.Errorf("%s: extrema (%v,%v) want (%v,%v)", what, s.Min(), s.Max(), sum.Min, sum.Max)
+	}
+}
+
+// TestStreamMatchesSliceStats verifies the streaming moments agree with
+// the slice-based helpers the figures use.
+func TestStreamMatchesSliceStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 10, 1000} {
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*12.5 + 40 // energy-scaled samples
+			s.Add(xs[i])
+		}
+		if n == 0 {
+			if s.N != 0 || !math.IsNaN(s.Mean()) || !math.IsNaN(s.SEM()) {
+				t.Fatal("empty stream should report NaN moments")
+			}
+			continue
+		}
+		checkStreamMatchesSlice(t, s, xs, 1e-12, "stream")
+	}
+}
+
+// TestStreamMergeAssociativity is the property the campaign aggregators
+// depend on: however the sample sequence is partitioned into shards, and
+// in whatever order the shard streams are merged, means, SEMs, and CIs
+// agree within float tolerance. (Byte-identical aggregates additionally
+// require a fixed merge order, which the campaign executor enforces and
+// tests separately.)
+func TestStreamMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		// A hostile distribution: large offset, small variance, a few
+		// outliers — where naive sum-of-squares accumulation loses digits.
+		xs[i] = 1e6 + rng.NormFloat64()
+		if i%97 == 0 {
+			xs[i] += 500
+		}
+	}
+	var ref Stream
+	for _, x := range xs {
+		ref.Add(x)
+	}
+
+	partition := func(sizes []int) []Stream {
+		var shards []Stream
+		i := 0
+		for _, sz := range sizes {
+			var s Stream
+			for j := 0; j < sz && i < n; j++ {
+				s.Add(xs[i])
+				i++
+			}
+			shards = append(shards, s)
+		}
+		for i < n { // remainder into the last shard
+			shards[len(shards)-1].Add(xs[i])
+			i++
+		}
+		return shards
+	}
+
+	cases := map[string][]int{
+		"even-64":    repeatInts(64, 64),
+		"uneven":     {1, 2, 3, 5, 1000, 7, 300, 4096},
+		"singletons": repeatInts(512, 1),
+		"one-big":    {4096},
+		"empty-mix":  {0, 2048, 0, 0, 2048, 0},
+	}
+	const tol = 1e-10
+	for name, sizes := range cases {
+		shards := partition(sizes)
+
+		// Left fold in shard order.
+		var fwd Stream
+		for _, s := range shards {
+			fwd.Merge(s)
+		}
+		checkStreamMatchesSlice(t, fwd, xs, tol, name+"/forward")
+
+		// Reverse merge order.
+		var rev Stream
+		for i := len(shards) - 1; i >= 0; i-- {
+			rev.Merge(shards[i])
+		}
+		if !relClose(fwd.Mean(), rev.Mean(), tol) || !relClose(fwd.SEM(), rev.SEM(), tol) {
+			t.Errorf("%s: reverse merge diverged: mean %v vs %v, sem %v vs %v",
+				name, fwd.Mean(), rev.Mean(), fwd.SEM(), rev.SEM())
+		}
+
+		// Pairwise tree reduction (the shape a parallel reducer produces).
+		tree := append([]Stream(nil), shards...)
+		for len(tree) > 1 {
+			var nxt []Stream
+			for i := 0; i < len(tree); i += 2 {
+				s := tree[i]
+				if i+1 < len(tree) {
+					s.Merge(tree[i+1])
+				}
+				nxt = append(nxt, s)
+			}
+			tree = nxt
+		}
+		checkStreamMatchesSlice(t, tree[0], xs, tol, name+"/tree")
+
+		// Random shard permutation.
+		perm := rng.Perm(len(shards))
+		var shuf Stream
+		for _, pi := range perm {
+			shuf.Merge(shards[pi])
+		}
+		checkStreamMatchesSlice(t, shuf, xs, tol, name+"/shuffled")
+
+		lo1, hi1 := fwd.CI95()
+		lo2, hi2 := shuf.CI95()
+		if !relClose(lo1, lo2, tol) || !relClose(hi1, hi2, tol) {
+			t.Errorf("%s: CI95 diverged: [%v,%v] vs [%v,%v]", name, lo1, hi1, lo2, hi2)
+		}
+	}
+}
+
+// TestStreamMergeDeterministicOrder pins the stronger property the
+// byte-identical campaign aggregates rely on: with fixed shard
+// boundaries and a fixed merge order, the merged stream is bit-identical
+// no matter which worker computed which shard (i.e. merging is a pure
+// function of the shard streams).
+func TestStreamMergeDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 3
+	}
+	build := func() Stream {
+		var shards [10]Stream
+		for i, x := range xs {
+			shards[i/100].Add(x)
+		}
+		var out Stream
+		for i := range shards {
+			out.Merge(shards[i])
+		}
+		return out
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("fixed-order merge not bit-identical: %+v vs %+v", a, b)
+	}
+	if math.Float64bits(a.Mean()) != math.Float64bits(b.Mean()) ||
+		math.Float64bits(a.SEM()) != math.Float64bits(b.SEM()) {
+		t.Fatal("derived statistics not bit-identical under fixed-order merge")
+	}
+}
+
+// TestStreamMergeEmptyAndSelf covers the merge edge cases.
+func TestStreamMergeEmptyAndSelf(t *testing.T) {
+	var empty, s Stream
+	s.Add(2)
+	s.Add(4)
+	before := s
+	s.Merge(empty)
+	if s != before {
+		t.Error("merging an empty stream must be a no-op")
+	}
+	empty.Merge(s)
+	if empty != s {
+		t.Error("merging into an empty stream must copy")
+	}
+	other := s // merge a copy (same distribution twice)
+	s.Merge(other)
+	if s.N != 4 || s.Mean() != 3 {
+		t.Errorf("self-merge: n=%d mean=%v, want 4 and 3", s.N, s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 4 {
+		t.Errorf("self-merge extrema: (%v,%v)", s.Min(), s.Max())
+	}
+}
+
+func repeatInts(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

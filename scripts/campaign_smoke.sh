@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Campaign serve/resume smoke test.
+#
+# Exercises the full acceptance path of the campaign engine:
+#   1. start `emptcpsim serve` with a persistent cache dir,
+#   2. submit a campaign over HTTP and let it make progress,
+#   3. kill the server mid-run (SIGTERM, graceful checkpoint),
+#   4. restart on the same cache dir, resubmit, wait for completion,
+#   5. assert the resumed run simulated only the missing suffix,
+#   6. diff the served aggregates byte-for-byte against an
+#      uninterrupted single-process `emptcpsim campaign -j 1` run,
+#   7. assert a warm replay is a pure cache hit (rate 1.0, ≥99%).
+#
+# Everything lives in a temp dir removed on exit.
+set -euo pipefail
+
+ADDR=127.0.0.1:18383
+BASE="http://$ADDR"
+
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say() { echo "[smoke] $*"; }
+die() { echo "[smoke] FAIL: $*" >&2; exit 1; }
+
+# jget FILE FIELD — pull one scalar field out of a JSON document.
+jget() {
+  python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); print(d[sys.argv[2]])' "$1" "$2"
+}
+
+say "building emptcpsim"
+go build -o "$WORK/emptcpsim" ./cmd/emptcpsim
+
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "name": "smoke",
+  "wifi": ["bad"],
+  "lte": ["good"],
+  "locations": ["wdc", "sng"],
+  "sizes_mb": [4],
+  "protocols": ["mptcp", "emptcp"],
+  "seeds": {"base": 0, "count": 6000},
+  "shard_size": 64
+}
+EOF
+TOTAL=24000 # 2 locations x 2 protocols x 6000 seeds (~130 us/run: a few seconds of runway)
+
+say "reference: uninterrupted single-process -j 1 run"
+"$WORK/emptcpsim" campaign -j 1 -o "$WORK/ref.json" "$WORK/spec.json"
+
+start_server() {
+  "$WORK/emptcpsim" serve -addr "$ADDR" -cachedir "$WORK/cache" -j 1 2>"$WORK/serve-$1.log" &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    curl -sf "$BASE/healthz" >/dev/null 2>&1 && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || die "server died on startup: $(cat "$WORK/serve-$1.log")"
+    sleep 0.1
+  done
+  die "server did not come up"
+}
+
+say "starting server (attempt 1)"
+start_server 1
+
+say "submitting campaign"
+curl -sf -X POST -d @"$WORK/spec.json" "$BASE/campaigns" > "$WORK/submit.json"
+ID=$(jget "$WORK/submit.json" id)
+say "campaign id: $ID"
+
+say "waiting for mid-run progress, then SIGTERM"
+for _ in $(seq 1 200); do
+  curl -sf "$BASE/campaigns/$ID" > "$WORK/prog.json"
+  DONE=$(jget "$WORK/prog.json" runs_done)
+  [ "$DONE" -ge 10 ] && break
+  sleep 0.05
+done
+[ "$DONE" -ge 10 ] || die "campaign never progressed (runs_done=$DONE)"
+[ "$DONE" -lt "$TOTAL" ] || die "campaign finished before the kill; enlarge the spec"
+say "killing server at $DONE/$TOTAL runs"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+[ -n "$(ls -A "$WORK/cache")" ] || die "graceful shutdown left no cache segments"
+
+say "restarting server on the same cache dir"
+start_server 2
+
+say "resubmitting and waiting for completion"
+curl -sf -X POST -d @"$WORK/spec.json" "$BASE/campaigns" > "$WORK/resubmit.json"
+[ "$(jget "$WORK/resubmit.json" id)" = "$ID" ] || die "digest id changed across restarts"
+for _ in $(seq 1 600); do
+  curl -sf "$BASE/campaigns/$ID" > "$WORK/prog2.json"
+  STATUS=$(jget "$WORK/prog2.json" status)
+  case "$STATUS" in
+    done) break ;;
+    failed|cancelled) die "resumed campaign $STATUS: $(cat "$WORK/prog2.json")" ;;
+  esac
+  sleep 0.1
+done
+[ "$STATUS" = done ] || die "resumed campaign did not finish"
+
+SIMULATED=$(jget "$WORK/prog2.json" simulated)
+DISK_HITS=$(jget "$WORK/prog2.json" disk_hits)
+say "resume: simulated=$SIMULATED disk_hits=$DISK_HITS of $TOTAL"
+[ "$SIMULATED" -lt "$TOTAL" ] || die "resume re-simulated everything; disk cache unused"
+[ "$DISK_HITS" -gt 0 ] || die "resume read nothing from disk"
+
+say "fetching served result and diffing against the reference"
+curl -sf "$BASE/campaigns/$ID/result" > "$WORK/served.json"
+cmp "$WORK/ref.json" "$WORK/served.json" \
+  || die "served aggregates differ from the uninterrupted -j 1 reference"
+
+say "stopping server"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+SERVER_PID=""
+
+say "warm replay must be a pure cache hit (hit rate 1.0)"
+"$WORK/emptcpsim" campaign -j 4 -cachedir "$WORK/cache" -v \
+  -o "$WORK/warm.json" "$WORK/spec.json" 2> "$WORK/warm.log"
+grep -q "0 simulated" "$WORK/warm.log" \
+  || die "warm replay simulated runs: $(cat "$WORK/warm.log")"
+grep -q "hit rate 1.0000" "$WORK/warm.log" \
+  || die "warm replay hit rate below 1.0: $(cat "$WORK/warm.log")"
+cmp "$WORK/ref.json" "$WORK/warm.json" || die "warm replay bytes differ"
+
+say "PASS"
