@@ -159,14 +159,16 @@ func compare(path string, results map[string]Result, stdout, stderr io.Writer) i
 	}
 	fmt.Fprintf(stdout, "%-*s  %12s  %12s  %8s  %s\n", w, "benchmark", "base ns/op", "new ns/op", "Δns/op", "allocs")
 	failed := false
-	logSum, shared := 0.0, 0
+	logSum, shared, added, vanished := 0.0, 0, 0, 0
 	for _, n := range names {
 		b, inBase := base[n]
 		r, inNew := results[n]
 		switch {
 		case !inBase:
-			fmt.Fprintf(stdout, "%-*s  %12s  %12.1f  %8s  %d (new)\n", w, n, "-", r.NsPerOp, "-", r.AllocsPerOp)
+			added++
+			fmt.Fprintf(stdout, "%-*s  %12s  %12.1f  %8s  %d (added)\n", w, n, "-", r.NsPerOp, "-", r.AllocsPerOp)
 		case !inNew:
+			vanished++
 			fmt.Fprintf(stdout, "%-*s  %12.1f  %12s  %8s  (vanished)\n", w, n, b.NsPerOp, "-", "-")
 		default:
 			delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
@@ -183,12 +185,21 @@ func compare(path string, results map[string]Result, stdout, stderr io.Writer) i
 			}
 		}
 	}
-	if shared > 0 {
-		// Geometric mean of per-benchmark speedups (base/new): >1.00x means
-		// the new run is faster overall, and no single benchmark dominates.
-		fmt.Fprintf(stdout, "%-*s  geomean speedup over %d shared: %.2fx\n",
-			w, "", shared, math.Exp(logSum/float64(shared)))
+	// Geometric mean of per-benchmark speedups (base/new): >1.00x means
+	// the new run is faster overall, and no single benchmark dominates.
+	// Added and vanished benchmarks have no speedup to fold in; name them
+	// in the footer so the omission is visible, not silent.
+	foot := fmt.Sprintf("geomean speedup over %d shared: %.2fx", shared, math.Exp(logSum/float64(max(shared, 1))))
+	if shared == 0 {
+		foot = "no shared benchmarks"
 	}
+	if added > 0 {
+		foot += fmt.Sprintf("; %d added (not in geomean)", added)
+	}
+	if vanished > 0 {
+		foot += fmt.Sprintf("; %d vanished", vanished)
+	}
+	fmt.Fprintf(stdout, "%-*s  %s\n", w, "", foot)
 	if failed {
 		fmt.Fprintf(stderr, "benchjson: ns/op regression beyond %.0f%% against %s\n", regressionLimit*100, path)
 		return 1

@@ -85,14 +85,35 @@ func TestCompareWithinLimit(t *testing.T) {
 	if code := run([]string{"-baseline", base}, strings.NewReader(sample), &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb.String(), out.String())
 	}
-	// 42.84 vs 40 is +7.1%, under the limit; NoMem is new, Vanished gone.
-	for _, want := range []string{"+7.1%", "(new)", "(vanished)", "2 -> 0"} {
+	// 42.84 vs 40 is +7.1%, under the limit; NoMem is added, Vanished
+	// gone — both named in the table AND acknowledged by the footer.
+	for _, want := range []string{"+7.1%", "(added)", "(vanished)", "2 -> 0",
+		"geomean speedup over 2 shared", "1 added (not in geomean)", "1 vanished"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("missing %q in:\n%s", want, out.String())
 		}
 	}
 	if strings.Contains(out.String(), "REGRESSED") {
 		t.Errorf("unexpected regression mark:\n%s", out.String())
+	}
+}
+
+// TestCompareAllAdded pins the degenerate comparison where nothing is
+// shared: every benchmark is added, the footer says so, and the run
+// still succeeds (added benchmarks cannot regress).
+func TestCompareAllAdded(t *testing.T) {
+	base := writeBaseline(t, `{}`)
+	var out, errb strings.Builder
+	if code := run([]string{"-baseline", base}, strings.NewReader(sample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.Count(out.String(), "(added)"); got != 3 {
+		t.Errorf("added rows = %d, want 3:\n%s", got, out.String())
+	}
+	for _, want := range []string{"no shared benchmarks", "3 added (not in geomean)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, out.String())
+		}
 	}
 }
 

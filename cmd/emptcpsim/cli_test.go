@@ -143,6 +143,21 @@ func TestCampaignSubcommand(t *testing.T) {
 	if !strings.Contains(errb.String(), "hit rate") {
 		t.Errorf("-v wrote no stats to stderr: %s", errb.String())
 	}
+	// The -v contract also covers the persistent store and lockstep
+	// counters (single-run -v prints the in-process analogues).
+	if !strings.Contains(errb.String(), "runcache store:") || !strings.Contains(errb.String(), "lockstep:") {
+		t.Errorf("-v missing store/lockstep stats on stderr: %s", errb.String())
+	}
+
+	// The -lockstep=0 escape hatch is byte-transparent.
+	var noLane strings.Builder
+	errb.Reset()
+	if code := run([]string{"campaign", "-j", "1", "-lockstep=0", specPath}, &noLane, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if noLane.String() != ref.String() {
+		t.Errorf("-lockstep=0 output differs from default")
+	}
 
 	// Re-run against the warm cache via -o FILE: same bytes, zero
 	// simulated.

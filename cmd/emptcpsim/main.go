@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/exp"
+	"repro/internal/lockstep"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/trace"
@@ -87,7 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsFile := fs.String("metrics", "", "write per-run JSON metrics to FILE (single experiment only)")
 	useCache := fs.Bool("cache", true, "memoize identical runs across experiments")
 	noFork := fs.Bool("nofork", false, "disable checkpoint/fork prefix sharing for sweeps (same output, slower)")
-	verbose := fs.Bool("v", false, "print cache and fork statistics to stderr")
+	useLockstep := fs.Bool("lockstep", true, "lane-batch repeated same-scenario runs (same output; 0 disables)")
+	verbose := fs.Bool("v", false, "print cache, fork, and lockstep statistics to stderr")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to FILE")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to FILE on exit")
 	if err := fs.Parse(args); err != nil {
@@ -133,7 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode, Jobs: *jobs, NoFork: *noFork}
+	cfg := exp.Config{BaseSeed: *seed, Quick: *quickMode, Jobs: *jobs, NoFork: *noFork, NoLockstep: !*useLockstep}
 	if *useCache {
 		cfg.Cache = scenario.NewRunCache()
 	}
@@ -232,8 +234,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// Stats go to stderr so stdout stays byte-identical for goldens.
 		hits, misses, waits := cfg.Cache.FlightStats()
 		trees, forks := scenario.ForkStats()
+		lanes, peels := lockstep.Stats()
 		fmt.Fprintf(stderr, "runcache: %d hits, %d misses, %d single-flight waits\n", hits, misses, waits)
 		fmt.Fprintf(stderr, "sweep forks: %d trees, %d forked runs\n", trees, forks)
+		fmt.Fprintf(stderr, "lockstep: %d lane runs, %d peeled\n", lanes, peels)
 	}
 	return 0
 }

@@ -17,8 +17,19 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/exp"
+	"repro/internal/lockstep"
 	"repro/internal/runcache"
 )
+
+// logRunStats prints the persistent-store and lockstep counters to
+// stderr in the same shape as the single-run -v contract, so serve and
+// campaign logs are greppable with the same patterns.
+func logRunStats(stderr io.Writer, store *runcache.Store) {
+	gets, hits, puts := store.DiskStats()
+	lanes, peels := lockstep.Stats()
+	fmt.Fprintf(stderr, "runcache store: %d gets, %d hits, %d puts\n", gets, hits, puts)
+	fmt.Fprintf(stderr, "lockstep: %d lane runs, %d peeled\n", lanes, peels)
+}
 
 // openStore opens the persistent run cache, or returns nil (in-memory
 // only) for an empty dir.
@@ -45,6 +56,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8383", "listen address")
 	cacheDir := fs.String("cachedir", "", "persistent run-cache directory (empty: in-memory only, no resume)")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker count per campaign")
+	useLockstep := fs.Bool("lockstep", true, "lane-batch repeated same-scenario runs (same output; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -66,7 +78,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	if code != 0 {
 		return code
 	}
-	srv := campaign.NewServer(store, *jobs)
+	srv := campaign.NewServerOpts(campaign.Options{Disk: store, Jobs: *jobs, NoLockstep: !*useLockstep})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,6 +115,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		exit = 1
 	}
+	logRunStats(stderr, store)
 	if err := store.Close(); err != nil {
 		fmt.Fprintln(stderr, err)
 		exit = 1
@@ -122,7 +135,8 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cachedir", "", "persistent run-cache directory (empty: none)")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker count")
 	outFile := fs.String("o", "", "write aggregates to FILE (default stdout)")
-	verbose := fs.Bool("v", false, "print run/cache statistics to stderr")
+	verbose := fs.Bool("v", false, "print run/cache/lockstep statistics to stderr")
+	useLockstep := fs.Bool("lockstep", true, "lane-batch repeated same-scenario runs (same output; 0 disables)")
 	device := fs.String("device", "s3", "device profile for the wild spec: s3 or n5")
 	sizeMB := fs.Float64("size", 16, "download size in MB for the wild spec")
 	population := fs.Int("population", 30, "seeds per cell for the wild spec")
@@ -175,7 +189,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 	}
 	defer store.Close()
 
-	job, err := campaign.New(spec, campaign.Options{Disk: store, Jobs: *jobs})
+	job, err := campaign.New(spec, campaign.Options{Disk: store, Jobs: *jobs, NoLockstep: !*useLockstep})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -203,6 +217,7 @@ func runCampaign(args []string, stdout, stderr io.Writer) int {
 		p := job.Progress()
 		fmt.Fprintf(stderr, "campaign %s: %d/%d runs, %d simulated, %d disk hits (hit rate %.4f)\n",
 			p.ID, p.RunsDone, p.TotalRuns, p.Simulated, p.DiskHits, p.HitRate)
+		logRunStats(stderr, store)
 	}
 	b, ok := job.Result()
 	if !ok {

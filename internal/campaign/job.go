@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/lockstep"
 	"repro/internal/runcache"
 	"repro/internal/scenario"
 )
@@ -33,6 +34,10 @@ type Options struct {
 	// never affects the output bytes: shard boundaries and merge order
 	// are fixed by the spec.
 	Jobs int
+	// NoLockstep disables lane-batched replication: every simulated
+	// run goes through the scalar engine individually. Output bytes
+	// are identical either way.
+	NoLockstep bool
 }
 
 // Progress is a point-in-time snapshot of a job, JSON-shaped for the
@@ -52,6 +57,11 @@ type Progress struct {
 	// ForkTrees/ForkRuns mirror scenario.ForkStats (process-wide).
 	ForkTrees int64 `json:"fork_trees"`
 	ForkRuns  int64 `json:"fork_runs"`
+	// LaneRuns/LanePeels mirror lockstep.Stats (process-wide): how
+	// many replications executed as lockstep lanes and how many were
+	// peeled back to the scalar engine.
+	LaneRuns  int64 `json:"lane_runs"`
+	LanePeels int64 `json:"lane_peels"`
 	// Aggregates is the streaming snapshot over the contiguous merged
 	// prefix of shards — the same numbers the final result will
 	// publish, just over fewer runs.
@@ -249,11 +259,31 @@ func (j *Job) runShard(s, size uint64) (err error) {
 		hi = j.g.total
 	}
 	a := newAgg(j.g.cells())
+	// The grid decodes seed-innermost, so a shard is a sequence of
+	// contiguous same-(scenario, protocol) blocks of up to Seeds.Count
+	// runs — exactly lockstep's unit of work. Each block carries a lazy
+	// lane batch; it fires only if some run in the block actually needs
+	// simulating (all-disk-hit blocks never construct a scenario).
+	nSeed := uint64(j.g.spec.Seeds.Count)
+	var blk *laneBlock
 	for i := lo; i < hi; i++ {
 		if j.cancelled() || j.failed() {
 			return nil // deliver nothing; shard will be missing → not merged
 		}
-		res, err := j.oneRun(i)
+		if start := i - i%nSeed; blk == nil || start != blk.start {
+			blk = nil
+			blo, bhi := start, start+nSeed
+			if blo < lo {
+				blo = lo
+			}
+			if bhi > hi {
+				bhi = hi
+			}
+			if !j.opts.NoLockstep && bhi-blo >= minLaneBlock {
+				blk = &laneBlock{j: j, start: start, lo: blo, hi: bhi}
+			}
+		}
+		res, err := j.oneRun(i, blk)
 		if err != nil {
 			return err
 		}
@@ -262,6 +292,46 @@ func (j *Job) runShard(s, size uint64) (err error) {
 	}
 	j.deliver(s, a)
 	return nil
+}
+
+// minLaneBlock is the smallest same-cell seed block worth batching;
+// below it the lockstep setup overhead beats the dispatch savings
+// (mirroring the k ≥ 4 rule in the experiment harness).
+const minLaneBlock = 4
+
+// laneBlock is one shard-local contiguous same-(scenario, protocol)
+// seed block with a lazily-fired lockstep batch. The batch simulates
+// all of the block's seeds the first time any of its runs misses the
+// disk store; runs served by disk never trigger it.
+type laneBlock struct {
+	j       *Job
+	start   uint64 // first grid index of the full block (pre-clip)
+	lo, hi  uint64 // shard-clipped index range [lo, hi)
+	once    sync.Once
+	laned   bool
+	results []scenario.Result
+}
+
+// result returns run i's lane result, firing the batch on first use.
+// ok is false when the block's cell is outside the lockstep envelope —
+// the caller falls back to a scalar run.
+func (b *laneBlock) result(i uint64) (scenario.Result, bool) {
+	b.once.Do(func() {
+		sc, proto, seed0, _ := b.j.g.runAt(b.lo)
+		if !lockstep.Eligible(sc, proto, scenario.Opts{}) {
+			return
+		}
+		seeds := make([]int64, b.hi-b.lo)
+		for k := range seeds {
+			seeds[k] = seed0 + int64(k)
+		}
+		b.results = lockstep.Run(sc, proto, seeds, scenario.Opts{})
+		b.laned = true
+	})
+	if !b.laned {
+		return scenario.Result{}, false
+	}
+	return b.results[i-b.lo], true
 }
 
 // memoizeKeys pre-digests one replica's worth of cache keys when the
@@ -309,8 +379,14 @@ func (j *Job) keyAt(i uint64) (runcache.Key, bool) {
 // fresh simulation (persisted before returning). The scenario is only
 // constructed if the run actually simulates — on the replay path a run
 // is a key lookup, a disk read, and a decode.
-func (j *Job) oneRun(i uint64) (scenario.Result, error) {
+func (j *Job) oneRun(i uint64, blk *laneBlock) (scenario.Result, error) {
 	sim := func() scenario.Result {
+		if blk != nil {
+			if r, ok := blk.result(i); ok {
+				j.simulated.Add(1)
+				return r
+			}
+		}
 		sc, proto, seed, _ := j.g.runAt(i)
 		j.simulated.Add(1)
 		return scenario.Run(sc, proto, scenario.Opts{Seed: seed})
@@ -373,6 +449,7 @@ func (j *Job) deliver(s uint64, a *agg) {
 // contiguous prefix, so its numbers are exact for the runs they count.
 func (j *Job) Progress() Progress {
 	trees, forkRuns := scenario.ForkStats()
+	laneRuns, lanePeels := lockstep.Stats()
 	done := j.runsDone.Load()
 	sim := j.simulated.Load()
 	p := Progress{
@@ -384,6 +461,8 @@ func (j *Job) Progress() Progress {
 		DiskHits:  j.diskHits.Load(),
 		ForkTrees: trees,
 		ForkRuns:  forkRuns,
+		LaneRuns:  laneRuns,
+		LanePeels: lanePeels,
 	}
 	if done > 0 {
 		p.HitRate = 1 - float64(sim)/float64(done)

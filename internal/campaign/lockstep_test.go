@@ -1,0 +1,36 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/lockstep"
+)
+
+// TestLockstepCampaignIdentity proves the shard executor's lane batching
+// is byte-transparent: the same spec run with lockstep on and off (and
+// with shard boundaries that clip seed blocks) produces identical
+// canonical aggregates, and the default path actually executes lanes.
+func TestLockstepCampaignIdentity(t *testing.T) {
+	spec := smallSpec()
+	spec.ShardSize = 16 // whole 5-seed blocks inside one shard
+	ref := runToBytes(t, spec, Options{Jobs: 1, NoLockstep: true})
+
+	lanes0, _ := lockstep.Stats()
+	if got := runToBytes(t, spec, Options{Jobs: 1}); !bytes.Equal(got, ref) {
+		t.Errorf("lockstep aggregates differ from scalar reference\nref: %s\ngot: %s", ref, got)
+	}
+	if lanes1, _ := lockstep.Stats(); lanes1 == lanes0 {
+		t.Fatalf("default campaign executed no lockstep lanes")
+	}
+
+	// Shard boundaries that slice seed blocks: a 4-run clip still lanes,
+	// the 1-run remainder falls back to scalar. Compare against the
+	// scalar reference at the same shard size (shard size shapes the
+	// aggregate merge order, so it must match between the two).
+	spec.ShardSize = 4
+	clippedRef := runToBytes(t, spec, Options{Jobs: 1, NoLockstep: true})
+	if got := runToBytes(t, spec, Options{Jobs: 4}); !bytes.Equal(got, clippedRef) {
+		t.Errorf("clipped-block aggregates differ from scalar reference")
+	}
+}

@@ -23,8 +23,7 @@ import (
 //	POST /campaigns/{id}/cancel                        → 202 Progress
 //	GET  /healthz                                      → 200 ok
 type Server struct {
-	disk *runcache.Store
-	jobs int
+	opts Options
 
 	mu     sync.Mutex
 	byID   map[string]*Job
@@ -36,11 +35,16 @@ type Server struct {
 
 // NewServer builds a server executing campaigns one at a time (each
 // job already parallelises across cores) against the given disk store.
-// jobs ≤ 0 means GOMAXPROCS workers per campaign.
+// jobs ≤ 0 means GOMAXPROCS workers per campaign. NewServerOpts passes
+// the full execution options through (escape hatches included).
 func NewServer(disk *runcache.Store, jobs int) *Server {
+	return NewServerOpts(Options{Disk: disk, Jobs: jobs})
+}
+
+// NewServerOpts is NewServer with every campaign execution option.
+func NewServerOpts(opts Options) *Server {
 	s := &Server{
-		disk: disk,
-		jobs: jobs,
+		opts: opts,
 		byID: make(map[string]*Job),
 		// A deep queue so submissions never block; the dispatcher
 		// drains it FIFO.
@@ -78,7 +82,7 @@ func (s *Server) Close() error {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
-	return s.disk.Sync()
+	return s.opts.Disk.Sync()
 }
 
 // Handler returns the server's HTTP routes.
@@ -119,7 +123,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: bad spec: %w", err))
 		return
 	}
-	job, err := New(spec, Options{Disk: s.disk, Jobs: s.jobs})
+	job, err := New(spec, s.opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return

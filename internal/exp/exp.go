@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/energy"
+	"repro/internal/lockstep"
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -47,6 +48,11 @@ type Config struct {
 	// simulating every sweep point in full. Output is byte-identical
 	// either way; forking only changes wall-clock time.
 	NoFork bool
+	// NoLockstep disables lane-batched replication (internal/lockstep)
+	// for repeated same-scenario runs, simulating every seed through the
+	// scalar engine. Output is byte-identical either way; lockstep only
+	// changes wall-clock time.
+	NoLockstep bool
 }
 
 func (c Config) device() *energy.DeviceProfile {
@@ -102,6 +108,96 @@ func repeatRuns[T any](cfg Config, n int, mk func(i int, opt scenario.Opts) T) [
 	})
 }
 
+// execPath names the execution strategies a replication group can take.
+// selectPath picks exactly one; the table test in dispatch_test.go pins
+// the choice for every eligibility combination so an eligibility edit
+// cannot silently disable a fast path.
+type execPath int
+
+const (
+	pathScalar   execPath = iota // independent scenario.Run per seed
+	pathCached   execPath = iota // scalar runs memoized through cfg.Cache
+	pathFork     execPath = iota // checkpoint/fork prefix sharing (sweeps)
+	pathLockstep execPath = iota // lane-batched replication (lockstep.Run)
+)
+
+func (p execPath) String() string {
+	switch p {
+	case pathCached:
+		return "cached"
+	case pathFork:
+		return "fork"
+	case pathLockstep:
+		return "lockstep"
+	default:
+		return "scalar"
+	}
+}
+
+// selectPath decides how a group of k same-scenario replications (or, with
+// sweep set, one k-seeded sweep family) executes. Tracing observes runs
+// in-line and always forces the scalar path; the cache composes with every
+// path, so pathCached is reported only when no batching applies.
+func selectPath(cfg Config, sc scenario.Scenario, proto scenario.Protocol, k int, sweep bool) execPath {
+	opt := scenario.Opts{Cache: cfg.Cache}
+	if cfg.Trace == nil {
+		if sweep {
+			if !cfg.NoFork && scenario.ForkEligible(sc, proto, opt) {
+				return pathFork
+			}
+		} else if !cfg.NoLockstep && k >= 4 && lockstep.Eligible(sc, proto, opt) {
+			return pathLockstep
+		}
+	}
+	if cfg.Cache != nil {
+		if _, ok := scenario.CacheKey(sc, proto, opt); ok {
+			return pathCached
+		}
+	}
+	return pathScalar
+}
+
+// replicateGrid evaluates a protocol × seed grid over one scenario —
+// protocol-major, seeds contiguous (results[pi*runs+s], seed BaseSeed+s)
+// — routing each protocol's replication block through selectPath: a
+// lockstep-eligible block runs as one lane batch, everything else takes
+// the scalar worker-pool path. Results are bit-identical either way.
+func replicateGrid(cfg Config, sc scenario.Scenario, protos []scenario.Protocol, runs int) []scenario.Result {
+	lanes := false
+	for _, p := range protos {
+		if selectPath(cfg, sc, p, runs, false) == pathLockstep {
+			lanes = true
+			break
+		}
+	}
+	if !lanes {
+		return repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) scenario.Result {
+			opt.Seed = cfg.BaseSeed + int64(j%runs)
+			return scenario.Run(sc, protos[j/runs], opt)
+		})
+	}
+	seeds := make([]int64, runs)
+	for s := range seeds {
+		seeds[s] = cfg.BaseSeed + int64(s)
+	}
+	groups := runner.Map(cfg.pool(), len(protos), func(pi int) []scenario.Result {
+		p := protos[pi]
+		if selectPath(cfg, sc, p, runs, false) == pathLockstep {
+			return lockstep.Run(sc, p, seeds, scenario.Opts{Cache: cfg.Cache})
+		}
+		out := make([]scenario.Result, runs)
+		for s := range out {
+			out[s] = scenario.Run(sc, p, scenario.Opts{Seed: seeds[s], Cache: cfg.Cache})
+		}
+		return out
+	})
+	out := make([]scenario.Result, 0, len(protos)*runs)
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
 // sweepRuns evaluates one sweep family — len(points) parameterisations ×
 // nSeeds seeded repetitions — and returns results point-major
 // (results[p*nSeeds+s]), the layout the sweep tables consume. Each seed's
@@ -112,7 +208,7 @@ func repeatRuns[T any](cfg Config, n int, mk func(i int, opt scenario.Opts) T) [
 // and NoFork fall back to exactly that, with the same recorder numbering
 // as any other point-major grid.
 func sweepRuns(cfg Config, nSeeds int, base scenario.Scenario, points []scenario.SweepPoint) []scenario.Result {
-	if cfg.Trace != nil || cfg.NoFork {
+	if selectPath(cfg, base, scenario.EMPTCP, nSeeds, true) != pathFork {
 		return repeatRuns(cfg, len(points)*nSeeds, func(j int, opt scenario.Opts) scenario.Result {
 			opt.Seed = cfg.BaseSeed + int64(j%nSeeds)
 			return scenario.Run(points[j/nSeeds].Scenario, scenario.EMPTCP, opt)

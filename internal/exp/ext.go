@@ -60,10 +60,7 @@ func runExtStreaming(cfg Config) *Output {
 		"Protocol", "Energy (J)", "Completion (s)", "LTE used")
 	runs := cfg.runs(5)
 	sc := scenario.StaticLab(cfg.device(), 12, 4.5, w)
-	rs := repeatRuns(cfg, len(labProtos)*runs, func(j int, opt scenario.Opts) scenario.Result {
-		opt.Seed = cfg.BaseSeed + int64(j%runs)
-		return scenario.Run(sc, labProtos[j/runs], opt)
-	})
+	rs := replicateGrid(cfg, sc, labProtos, runs)
 	ms := map[scenario.Protocol]*measures{}
 	for pi, p := range labProtos {
 		m := &measures{}
@@ -251,10 +248,7 @@ func runExtMultiAP(cfg Config) *Output {
 	runs := cfg.runs(3)
 	for _, b := range builds {
 		sc := b.mk(cfg.device())
-		rs := repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) scenario.Result {
-			opt.Seed = cfg.BaseSeed + int64(j%runs)
-			return scenario.Run(sc, protos[j/runs], opt)
-		})
+		rs := replicateGrid(cfg, sc, protos, runs)
 		for pi, p := range protos {
 			var dl, e, lteE []float64
 			for _, r := range rs[pi*runs : (pi+1)*runs] {

@@ -92,10 +92,7 @@ func (m *measures) add(r scenario.Result) {
 // protocol × seed grid is flattened onto the worker pool and reduced in
 // index order, so the tables built from it are identical at any job count.
 func collect(cfg Config, sc scenario.Scenario, protos []scenario.Protocol, runs int) map[scenario.Protocol]*measures {
-	rs := repeatRuns(cfg, len(protos)*runs, func(j int, opt scenario.Opts) scenario.Result {
-		opt.Seed = cfg.BaseSeed + int64(j%runs)
-		return scenario.Run(sc, protos[j/runs], opt)
-	})
+	rs := replicateGrid(cfg, sc, protos, runs)
 	out := map[scenario.Protocol]*measures{}
 	for pi, p := range protos {
 		m := &measures{}

@@ -210,6 +210,107 @@ func TestDiskStoreCorruptValueDropped(t *testing.T) {
 	}
 }
 
+// TestDiskStoreMidSegmentCorruptionRecovery flips a bit in a record in
+// the MIDDLE of a segment, with more good records after it in the same
+// segment and a whole later segment behind that. The store is
+// append-only, so recovery cannot resynchronise past a bad crc: it must
+// drop the corrupt record and every record after it in that segment,
+// keep the later segment intact, and accept first-write-wins re-appends
+// of the dropped keys.
+func TestDiskStoreMidSegmentCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 1: records 0..7. Segment 2: records 8..11.
+	for i := 0; i < 8; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	err = s.rotateLocked()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 12; i++ {
+		if err := s.Put(testKey(i), []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one value bit in record 3 of segment 1. Every record here is
+	// recHeaderSize + 3 (value) + 4 (crc) bytes.
+	seg := filepath.Join(dir, "cache-000001.seg")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSize := recHeaderSize + 3 + 4
+	raw[3*recSize+recHeaderSize+1] ^= 0x01
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+
+	// Records 0..2 survive, 3..7 are gone, segment 2's 8..11 survive.
+	if s2.Len() != 7 {
+		t.Fatalf("Len=%d want 7 (3 before the bad record + 4 in the next segment)", s2.Len())
+	}
+	for i := 0; i < 12; i++ {
+		v, ok, err := s2.Get(testKey(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOK := i < 3 || i >= 8
+		if ok != wantOK {
+			t.Errorf("record %d: present=%v want %v", i, ok, wantOK)
+		}
+		if ok && string(v) != fmt.Sprintf("v%02d", i) {
+			t.Errorf("record %d: %q", i, v)
+		}
+	}
+
+	// The dropped keys re-append (first write wins again), and a put of a
+	// surviving key stays a no-op.
+	for i := 3; i < 8; i++ {
+		if err := s2.Put(testKey(i), []byte(fmt.Sprintf("r%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s2.Put(testKey(0), []byte("clobber")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s2.Get(testKey(0)); !ok || string(v) != "v00" {
+		t.Fatalf("surviving key overwritten: %q", v)
+	}
+	if v, ok, _ := s2.Get(testKey(5)); !ok || string(v) != "r05" {
+		t.Fatalf("re-appended key not readable: %q ok=%v", v, ok)
+	}
+	s2.Close()
+
+	// A third open sees the repaired state in full.
+	s3, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 12 {
+		t.Fatalf("after repair Len=%d want 12", s3.Len())
+	}
+	if v, ok, _ := s3.Get(testKey(6)); !ok || string(v) != "r06" {
+		t.Fatalf("repaired record lost on reopen: %q ok=%v", v, ok)
+	}
+}
+
 func TestDiskStoreConcurrent(t *testing.T) {
 	dir := t.TempDir()
 	s, err := OpenStore(dir)

@@ -134,6 +134,14 @@ func (st *RunState) restore(ck *forkCheckpoint) {
 // launch-time state is fully captured by the checkpoint — the stateless
 // file transfers. WebPage and Streaming keep progress in closure
 // variables the checkpoint cannot reach.
+// ForkEligible reports whether RunSweep would share prefixes for this
+// sweep rather than fall back to independent runs. Exported so the
+// experiment harness can select an execution path (fork vs lockstep vs
+// cache vs scalar) without duplicating the rules.
+func ForkEligible(base Scenario, proto Protocol, opt Opts) bool {
+	return forkEligible(base, proto, opt)
+}
+
 func forkEligible(base Scenario, proto Protocol, opt Opts) bool {
 	if proto != EMPTCP || opt.Trace || opt.Recorder != nil {
 		return false
