@@ -37,6 +37,12 @@ func TestInvalidInvocationsExitNonZero(t *testing.T) {
 		{"campaign no spec", []string{"campaign"}},
 		{"campaign two specs", []string{"campaign", "a.json", "b.json"}},
 		{"campaign zero workers", []string{"campaign", "-j", "0", "wild"}},
+		{"serve zero lease ttl", []string{"serve", "-lease-ttl", "0s"}},
+		{"worker unknown flag", []string{"worker", "-bogus"}},
+		{"worker no coordinator", []string{"worker"}},
+		{"worker positional arg", []string{"worker", "-coordinator", "http://x", "extra"}},
+		{"worker zero jobs", []string{"worker", "-coordinator", "http://x", "-j", "0"}},
+		{"worker zero poll", []string{"worker", "-coordinator", "http://x", "-poll", "0s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,7 +89,7 @@ func TestInvalidInvocationsExitNonZero(t *testing.T) {
 }
 
 func TestHelpExitsZero(t *testing.T) {
-	for _, args := range [][]string{{"-h"}, {"serve", "-h"}, {"campaign", "-h"}} {
+	for _, args := range [][]string{{"-h"}, {"serve", "-h"}, {"campaign", "-h"}, {"worker", "-h"}} {
 		var out, errb strings.Builder
 		if code := run(args, &out, &errb); code != 0 {
 			t.Errorf("%v: exit %d, want 0", args, code)

@@ -7,7 +7,8 @@
 //	          [-cache=false] [-nofork] [-v] [-trace FILE] [-metrics FILE]
 //	          [-cpuprofile FILE] [-memprofile FILE] [experiment ...]
 //	emptcpsim campaign [-cachedir DIR] [-j N] [-o FILE] [-v] (SPEC.json | - | wild)
-//	emptcpsim serve [-addr HOST:PORT] [-cachedir DIR] [-j N]
+//	emptcpsim serve [-addr HOST:PORT] [-cachedir DIR] [-j N] [-token T] [-lease-ttl D]
+//	emptcpsim worker -coordinator URL [-cachedir DIR] [-j N] [-token T]
 //
 // With no arguments it lists the available experiments. Pass experiment
 // ids ("fig5", "table2", ...) or "all" to run everything in paper order.
@@ -63,7 +64,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
   emptcpsim [flags] [experiment ...|all]   regenerate tables/figures (no args: list)
   emptcpsim campaign [flags] SPEC          run one campaign (SPEC is a file, "-", or "wild")
-  emptcpsim serve [flags]                  campaign HTTP service
+  emptcpsim serve [flags]                  campaign HTTP service / distributed coordinator
+  emptcpsim worker -coordinator URL        pull and execute campaign shards from a coordinator
 run "emptcpsim <subcommand> -h" for flags.`)
 }
 
@@ -75,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runServe(args[1:], stdout, stderr)
 		case "campaign":
 			return runCampaign(args[1:], stdout, stderr)
+		case "worker":
+			return runWorker(args[1:], stdout, stderr)
 		}
 	}
 	fs := flag.NewFlagSet("emptcpsim", flag.ContinueOnError)

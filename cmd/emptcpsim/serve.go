@@ -57,6 +57,8 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cachedir", "", "persistent run-cache directory (empty: in-memory only, no resume)")
 	jobs := fs.Int("j", runtime.NumCPU(), "worker count per campaign")
 	useLockstep := fs.Bool("lockstep", true, "lane-batch repeated same-scenario runs (same output; 0 disables)")
+	token := fs.String("token", "", "require this bearer token on every route except /healthz")
+	leaseTTL := fs.Duration("lease-ttl", campaign.DefaultLeaseTTL, "shard-lease expiry for remote workers")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -73,12 +75,20 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+	if *leaseTTL <= 0 {
+		fmt.Fprintf(stderr, "-lease-ttl %v: must be positive\n", *leaseTTL)
+		usage(stderr)
+		return 2
+	}
 
 	store, code := openStore(*cacheDir, stderr)
 	if code != 0 {
 		return code
 	}
-	srv := campaign.NewServerOpts(campaign.Options{Disk: store, Jobs: *jobs, NoLockstep: !*useLockstep})
+	srv := campaign.NewServerOpts(campaign.Options{
+		Disk: store, Jobs: *jobs, NoLockstep: !*useLockstep, LeaseTTL: *leaseTTL,
+	})
+	srv.SetAuthToken(*token)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/lockstep"
 	"repro/internal/runcache"
@@ -30,7 +31,7 @@ type Options struct {
 	// (or any campaign whose grid overlaps) hits disk instead of
 	// simulating.
 	Disk *runcache.Store
-	// Jobs is the worker count (default GOMAXPROCS). Worker count
+	// Jobs is the local worker count (default GOMAXPROCS). Worker count
 	// never affects the output bytes: shard boundaries and merge order
 	// are fixed by the spec.
 	Jobs int
@@ -38,6 +39,18 @@ type Options struct {
 	// run goes through the scalar engine individually. Output bytes
 	// are identical either way.
 	NoLockstep bool
+	// LeaseTTL is the shard-lease expiry for distributed execution
+	// (default DefaultLeaseTTL). A remote worker that stops renewing
+	// for this long loses its shard to reassignment.
+	LeaseTTL time.Duration
+	// NoLocalExec makes Execute a pure coordinator: it spawns no local
+	// folding workers and every shard must arrive through the lease
+	// protocol (CompleteShard). Cancel still works; the output bytes
+	// are identical to any other execution shape.
+	NoLocalExec bool
+
+	// now overrides the lease clock in tests.
+	now func() time.Time
 }
 
 // Progress is a point-in-time snapshot of a job, JSON-shaped for the
@@ -49,11 +62,15 @@ type Progress struct {
 	Error     string `json:"error,omitempty"`
 	TotalRuns uint64 `json:"total_runs"`
 	RunsDone  uint64 `json:"runs_done"`
-	// Simulated counts runs actually executed by the engine; the rest
-	// were disk hits or collapsed in-flight duplicates.
+	// Simulated counts runs actually executed by an engine — locally
+	// or, for leased-out shards, on the remote worker that reported
+	// them; the rest were disk hits or collapsed in-flight duplicates.
 	Simulated uint64  `json:"simulated"`
 	DiskHits  uint64  `json:"disk_hits"`
 	HitRate   float64 `json:"hit_rate"`
+	// RemoteRuns counts runs folded by remote workers' shard
+	// completions (included in RunsDone).
+	RemoteRuns uint64 `json:"remote_runs"`
 	// ForkTrees/ForkRuns mirror scenario.ForkStats (process-wide).
 	ForkTrees int64 `json:"fork_trees"`
 	ForkRuns  int64 `json:"fork_runs"`
@@ -62,19 +79,24 @@ type Progress struct {
 	// peeled back to the scalar engine.
 	LaneRuns  int64 `json:"lane_runs"`
 	LanePeels int64 `json:"lane_peels"`
+	// Leases is the shard-lease table snapshot: how the campaign is
+	// spread across workers right now.
+	Leases *LeaseState `json:"leases,omitempty"`
 	// Aggregates is the streaming snapshot over the contiguous merged
 	// prefix of shards — the same numbers the final result will
 	// publish, just over fewer runs.
 	Aggregates *Aggregates `json:"aggregates,omitempty"`
 }
 
-// Job executes one campaign: a sharded sweep of the spec's run grid
-// into streaming aggregators, memoized through the optional disk
-// store. Create with New, drive with Execute, observe with Progress.
-type Job struct {
-	g    *grid
-	id   string
-	opts Options
+// executor folds shards of a compiled grid into aggregates: the part of
+// campaign execution that is identical whether it runs inside the
+// coordinator's Job or inside a remote `emptcpsim worker`. Each process
+// owns one executor per campaign, with its own disk store, single-
+// flight, and key memo.
+type executor struct {
+	g          *grid
+	disk       *runcache.Store
+	noLockstep bool
 
 	// flight collapses concurrent duplicate runs (replicas landing in
 	// different workers) without retaining results: the key is
@@ -87,16 +109,267 @@ type Job struct {
 	// ~20µs (a reflective digest of the device profile), which would
 	// dominate a cache-replay campaign. Sized to one replica — the
 	// base grid — so population-scale campaigns (small grid, huge
-	// Replicate) pay O(base), not O(runs). Filled before the shard
-	// workers start; read-only after.
-	keys  []runcache.Key
-	keyOK []bool
-	baseN uint64
+	// Replicate) pay O(base), not O(runs). Filled once before the
+	// first shard folds; read-only after.
+	keyOnce sync.Once
+	keys    []runcache.Key
+	keyOK   []bool
+	baseN   uint64
 
-	nextShard atomic.Uint64
-	runsDone  atomic.Uint64
 	simulated atomic.Uint64
 	diskHits  atomic.Uint64
+
+	// reported-counter cursors for per-shard completion reports; see
+	// counterDelta.
+	reportMu        sync.Mutex
+	repSim, repHits uint64
+}
+
+// counterDelta returns how much simulated/diskHits grew since the last
+// call. Per-shard completion reports carry these deltas, so their sum
+// equals the executor's lifetime totals exactly — even when shards fold
+// concurrently (attribution to a particular shard is then approximate,
+// but the counters are informational, never part of the merge).
+func (e *executor) counterDelta() (sim, hits uint64) {
+	e.reportMu.Lock()
+	defer e.reportMu.Unlock()
+	s, h := e.simulated.Load(), e.diskHits.Load()
+	sim, hits = s-e.repSim, h-e.repHits
+	e.repSim, e.repHits = s, h
+	return
+}
+
+func newExecutor(g *grid, disk *runcache.Store, noLockstep bool) *executor {
+	return &executor{
+		g:          g,
+		disk:       disk,
+		noLockstep: noLockstep,
+		flight:     runcache.NewFlight[scenario.Result](),
+	}
+}
+
+// shardRange returns run range [lo, hi) of shard s.
+func (e *executor) shardRange(s uint64) (lo, hi uint64) {
+	size := uint64(e.g.spec.ShardSize)
+	lo, hi = s*size, (s+1)*size
+	if hi > e.g.total {
+		hi = e.g.total
+	}
+	return lo, hi
+}
+
+// nShards is the campaign's spec-derived shard count.
+func (e *executor) nShards() uint64 {
+	size := uint64(e.g.spec.ShardSize)
+	return (e.g.total + size - 1) / size
+}
+
+// memoizeKeys pre-digests one replica's worth of cache keys when the
+// grid repeats. Disjoint index ranges per goroutine, so the fill is
+// race-free and the slices are immutable once published by the Once.
+func (e *executor) memoizeKeys(jobs int) {
+	e.keyOnce.Do(func() {
+		rep := e.g.spec.Replicate
+		if rep <= 1 {
+			return
+		}
+		if jobs < 1 {
+			jobs = 1
+		}
+		baseN := e.g.total / uint64(rep)
+		keys := make([]runcache.Key, baseN)
+		keyOK := make([]bool, baseN)
+		var wg sync.WaitGroup
+		chunk := (baseN + uint64(jobs) - 1) / uint64(jobs)
+		for lo := uint64(0); lo < baseN; lo += chunk {
+			hi := lo + chunk
+			if hi > baseN {
+				hi = baseN
+			}
+			wg.Add(1)
+			go func(lo, hi uint64) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					sc, proto, seed, _ := e.g.runAt(i)
+					keys[i], keyOK[i] = scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		e.keys, e.keyOK, e.baseN = keys, keyOK, baseN
+	})
+}
+
+// keyAt returns run i's cache key, from the memo when the grid
+// repeats.
+func (e *executor) keyAt(i uint64) (runcache.Key, bool) {
+	if e.keys != nil {
+		b := i % e.baseN
+		return e.keys[b], e.keyOK[b]
+	}
+	sc, proto, seed, _ := e.g.runAt(i)
+	return scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
+}
+
+// foldShard folds runs [lo, hi) of shard s into a fresh shard aggregate
+// in index order. onRun fires after each folded run (progress
+// accounting); stop is polled between runs and, when it fires, foldShard
+// returns (nil, nil) — deliver nothing, the shard stays unfinished. A
+// panic anywhere in a run (engine bug, poisoned flight) converts to an
+// error rather than crashing the process.
+func (e *executor) foldShard(s uint64, stop func() bool, onRun func()) (a *agg, err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			a, err = nil, fmt.Errorf("campaign: run panicked in shard %d: %v", s, pv)
+		}
+	}()
+	e.memoizeKeys(runtime.GOMAXPROCS(0))
+	lo, hi := e.shardRange(s)
+	a = newAgg(e.g.cells())
+	// The grid decodes seed-innermost, so a shard is a sequence of
+	// contiguous same-(scenario, protocol) blocks of up to Seeds.Count
+	// runs — exactly lockstep's unit of work. Each block carries a lazy
+	// lane batch; it fires only if some run in the block actually needs
+	// simulating (all-disk-hit blocks never construct a scenario).
+	nSeed := uint64(e.g.spec.Seeds.Count)
+	var blk *laneBlock
+	for i := lo; i < hi; i++ {
+		if stop != nil && stop() {
+			return nil, nil
+		}
+		if start := i - i%nSeed; blk == nil || start != blk.start {
+			blk = nil
+			blo, bhi := start, start+nSeed
+			if blo < lo {
+				blo = lo
+			}
+			if bhi > hi {
+				bhi = hi
+			}
+			if !e.noLockstep && bhi-blo >= minLaneBlock {
+				blk = &laneBlock{e: e, start: start, lo: blo, hi: bhi}
+			}
+		}
+		res, err := e.oneRun(i, blk)
+		if err != nil {
+			return nil, err
+		}
+		a.add(e.g.cellAt(i), &res)
+		if onRun != nil {
+			onRun()
+		}
+	}
+	return a, nil
+}
+
+// minLaneBlock is the smallest same-cell seed block worth batching;
+// below it the lockstep setup overhead beats the dispatch savings
+// (mirroring the k ≥ 4 rule in the experiment harness).
+const minLaneBlock = 4
+
+// laneBlock is one shard-local contiguous same-(scenario, protocol)
+// seed block with a lazily-fired lockstep batch. The batch simulates
+// all of the block's seeds the first time any of its runs misses the
+// disk store; runs served by disk never trigger it.
+type laneBlock struct {
+	e       *executor
+	start   uint64 // first grid index of the full block (pre-clip)
+	lo, hi  uint64 // shard-clipped index range [lo, hi)
+	once    sync.Once
+	laned   bool
+	results []scenario.Result
+}
+
+// result returns run i's lane result, firing the batch on first use.
+// ok is false when the block's cell is outside the lockstep envelope —
+// the caller falls back to a scalar run.
+func (b *laneBlock) result(i uint64) (scenario.Result, bool) {
+	b.once.Do(func() {
+		sc, proto, seed0, _ := b.e.g.runAt(b.lo)
+		if !lockstep.Eligible(sc, proto, scenario.Opts{}) {
+			return
+		}
+		seeds := make([]int64, b.hi-b.lo)
+		for k := range seeds {
+			seeds[k] = seed0 + int64(k)
+		}
+		b.results = lockstep.Run(sc, proto, seeds, scenario.Opts{})
+		b.laned = true
+	})
+	if !b.laned {
+		return scenario.Result{}, false
+	}
+	return b.results[i-b.lo], true
+}
+
+// oneRun produces run i's result: disk hit, collapsed duplicate, or a
+// fresh simulation (persisted before returning). The scenario is only
+// constructed if the run actually simulates — on the replay path a run
+// is a key lookup, a disk read, and a decode.
+func (e *executor) oneRun(i uint64, blk *laneBlock) (scenario.Result, error) {
+	sim := func() scenario.Result {
+		if blk != nil {
+			if r, ok := blk.result(i); ok {
+				e.simulated.Add(1)
+				return r
+			}
+		}
+		sc, proto, seed, _ := e.g.runAt(i)
+		e.simulated.Add(1)
+		return scenario.Run(sc, proto, scenario.Opts{Seed: seed})
+	}
+	key, ok := e.keyAt(i)
+	if !ok {
+		// Library scenarios are always digestible; this is a belt for
+		// future scenario kinds, not a hot path.
+		return sim(), nil
+	}
+	var runErr error
+	res := e.flight.Do(key, func() scenario.Result {
+		if e.disk != nil {
+			if b, hit, derr := e.disk.Get(key); derr != nil {
+				runErr = derr
+				return scenario.Result{}
+			} else if hit {
+				if r, cerr := decodeResult(b); cerr == nil {
+					e.diskHits.Add(1)
+					return r
+				}
+				// Version/layout mismatch: treat as a miss and
+				// re-simulate. Put below is a first-write-wins no-op,
+				// so the stale record stays until a cache rebuild.
+			}
+		}
+		r := sim()
+		if e.disk != nil {
+			if perr := e.disk.Put(key, encodeResult(r)); perr != nil {
+				runErr = perr
+			}
+		}
+		return r
+	})
+	return res, runErr
+}
+
+// Job executes one campaign: a sharded sweep of the spec's run grid
+// into streaming aggregators, memoized through the optional disk
+// store. Create with New, drive with Execute, observe with Progress.
+// When the job runs behind a serve-mode coordinator, remote workers
+// lease shards through Lease/RenewLease and return aggregates through
+// CompleteShard; the coordinator's own Execute workers pull from the
+// same lease table, so it is simply worker #0.
+type Job struct {
+	g    *grid
+	id   string
+	opts Options
+	exec *executor
+
+	leases *leaseTable
+
+	runsDone   atomic.Uint64
+	remoteRuns atomic.Uint64
+	remoteSim  atomic.Uint64
+	remoteHits atomic.Uint64
 
 	cancelCh   chan struct{}
 	cancelOnce sync.Once
@@ -124,11 +397,13 @@ func New(spec Spec, opts Options) (*Job, error) {
 	if opts.Jobs <= 0 {
 		opts.Jobs = runtime.GOMAXPROCS(0)
 	}
+	exec := newExecutor(g, opts.Disk, opts.NoLockstep)
 	return &Job{
 		g:        g,
 		id:       id,
 		opts:     opts,
-		flight:   runcache.NewFlight[scenario.Result](),
+		exec:     exec,
+		leases:   newLeaseTable(exec.nShards(), opts.LeaseTTL, opts.now),
 		cancelCh: make(chan struct{}),
 		status:   StatusQueued,
 		total:    newAgg(g.cells()),
@@ -159,9 +434,18 @@ func (j *Job) cancelled() bool {
 	}
 }
 
+// leaseWait is how long an idle local worker sleeps when every
+// remaining shard is leased out (to remote workers or to its siblings)
+// before re-checking for expiries and completions.
+const leaseWait = 2 * time.Millisecond
+
 // Execute runs the campaign to completion (or cancellation/failure)
 // and returns its terminal error, if any. It is the caller's single
-// blocking drive call; the server wraps it in a goroutine.
+// blocking drive call; the server wraps it in a goroutine. Local
+// workers pull shards from the same lease table remote workers do, so
+// a job with no remote workers behaves exactly as before — and with
+// remote workers, Execute returns once every shard (whoever computed
+// it) has merged.
 func (j *Job) Execute() error {
 	j.mu.Lock()
 	if j.status != StatusQueued {
@@ -172,28 +456,28 @@ func (j *Job) Execute() error {
 	j.status = StatusRunning
 	j.mu.Unlock()
 
-	shardSize := uint64(j.g.spec.ShardSize)
-	nShards := (j.g.total + shardSize - 1) / shardSize
-	j.memoizeKeys()
+	nShards := j.exec.nShards()
+	j.exec.memoizeKeys(j.opts.Jobs)
 
-	var wg sync.WaitGroup
-	for w := 0; w < j.opts.Jobs; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				s := j.nextShard.Add(1) - 1
-				if s >= nShards || j.cancelled() || j.failed() {
-					return
-				}
-				if err := j.runShard(s, shardSize); err != nil {
-					j.fail(err)
-					return
-				}
-			}
-		}()
+	if !j.opts.NoLocalExec {
+		var wg sync.WaitGroup
+		for w := 0; w < j.opts.Jobs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				j.localWorker(fmt.Sprintf("local/%d", w))
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+
+	// Wait out the remote tail: in coordinator-only mode this is the
+	// whole campaign; otherwise remote completions mark a shard done in
+	// the lease table a moment before the merge lands, and this drains
+	// that window so the terminal check below sees the final state.
+	for !j.cancelled() && !j.failed() && (!j.leases.allDone() || !j.merged(nShards)) {
+		time.Sleep(leaseWait)
+	}
 
 	// Flush the disk store in every terminal state: a cancelled (or
 	// failed) campaign's simulated results are its resume state.
@@ -229,6 +513,49 @@ func (j *Job) Execute() error {
 	return nil
 }
 
+// localWorker is one coordinator-side execution loop: lease a shard,
+// fold it, complete it, repeat — waiting out windows where every
+// remaining shard is leased to someone else (a remote worker may die
+// and its lease expire back to us).
+func (j *Job) localWorker(name string) {
+	for {
+		if j.cancelled() || j.failed() {
+			return
+		}
+		s, token, ok := j.leases.acquire(name)
+		if !ok {
+			if j.leases.allDone() {
+				return
+			}
+			select {
+			case <-j.cancelCh:
+				return
+			case <-time.After(leaseWait):
+			}
+			continue
+		}
+		a, err := j.exec.foldShard(s, func() bool { return j.cancelled() || j.failed() },
+			func() { j.runsDone.Add(1) })
+		if err != nil {
+			j.fail(err)
+			return
+		}
+		if a == nil { // stopped mid-shard
+			j.leases.release(s, token)
+			return
+		}
+		if dup := j.leases.complete(s); !dup {
+			j.deliver(s, a)
+		}
+	}
+}
+
+func (j *Job) merged(nShards uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextMerge == nShards
+}
+
 func (j *Job) failed() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -244,192 +571,78 @@ func (j *Job) fail(err error) {
 	j.Cancel() // stop sibling workers promptly
 }
 
-// runShard folds runs [s·size, min((s+1)·size, total)) into a fresh
-// shard aggregate in index order, then delivers it for the in-order
-// merge. A panic anywhere in a run (engine bug, poisoned flight)
-// converts to a job failure rather than crashing the server.
-func (j *Job) runShard(s, size uint64) (err error) {
-	defer func() {
-		if pv := recover(); pv != nil {
-			err = fmt.Errorf("campaign: run panicked in shard %d: %v", s, pv)
-		}
-	}()
-	lo, hi := s*size, (s+1)*size
-	if hi > j.g.total {
-		hi = j.g.total
-	}
-	a := newAgg(j.g.cells())
-	// The grid decodes seed-innermost, so a shard is a sequence of
-	// contiguous same-(scenario, protocol) blocks of up to Seeds.Count
-	// runs — exactly lockstep's unit of work. Each block carries a lazy
-	// lane batch; it fires only if some run in the block actually needs
-	// simulating (all-disk-hit blocks never construct a scenario).
-	nSeed := uint64(j.g.spec.Seeds.Count)
-	var blk *laneBlock
-	for i := lo; i < hi; i++ {
-		if j.cancelled() || j.failed() {
-			return nil // deliver nothing; shard will be missing → not merged
-		}
-		if start := i - i%nSeed; blk == nil || start != blk.start {
-			blk = nil
-			blo, bhi := start, start+nSeed
-			if blo < lo {
-				blo = lo
-			}
-			if bhi > hi {
-				bhi = hi
-			}
-			if !j.opts.NoLockstep && bhi-blo >= minLaneBlock {
-				blk = &laneBlock{j: j, start: start, lo: blo, hi: bhi}
-			}
-		}
-		res, err := j.oneRun(i, blk)
-		if err != nil {
-			return err
-		}
-		a.add(j.g.cellAt(i), &res)
-		j.runsDone.Add(1)
-	}
-	j.deliver(s, a)
-	return nil
+// running reports whether the job accepts lease traffic.
+func (j *Job) running() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == StatusRunning
 }
 
-// minLaneBlock is the smallest same-cell seed block worth batching;
-// below it the lockstep setup overhead beats the dispatch savings
-// (mirroring the k ≥ 4 rule in the experiment harness).
-const minLaneBlock = 4
-
-// laneBlock is one shard-local contiguous same-(scenario, protocol)
-// seed block with a lazily-fired lockstep batch. The batch simulates
-// all of the block's seeds the first time any of its runs misses the
-// disk store; runs served by disk never trigger it.
-type laneBlock struct {
-	j       *Job
-	start   uint64 // first grid index of the full block (pre-clip)
-	lo, hi  uint64 // shard-clipped index range [lo, hi)
-	once    sync.Once
-	laned   bool
-	results []scenario.Result
-}
-
-// result returns run i's lane result, firing the batch on first use.
-// ok is false when the block's cell is outside the lockstep envelope —
-// the caller falls back to a scalar run.
-func (b *laneBlock) result(i uint64) (scenario.Result, bool) {
-	b.once.Do(func() {
-		sc, proto, seed0, _ := b.j.g.runAt(b.lo)
-		if !lockstep.Eligible(sc, proto, scenario.Opts{}) {
-			return
-		}
-		seeds := make([]int64, b.hi-b.lo)
-		for k := range seeds {
-			seeds[k] = seed0 + int64(k)
-		}
-		b.results = lockstep.Run(sc, proto, seeds, scenario.Opts{})
-		b.laned = true
-	})
-	if !b.laned {
-		return scenario.Result{}, false
+// Lease grants the caller (a remote worker) one shard, or ok=false when
+// nothing is currently available. gone is true once the job is not
+// running — the worker should stop polling this campaign.
+func (j *Job) Lease(worker string) (g LeaseGrant, ok, gone bool) {
+	if !j.running() || j.cancelled() {
+		return LeaseGrant{}, false, true
 	}
-	return b.results[i-b.lo], true
-}
-
-// memoizeKeys pre-digests one replica's worth of cache keys when the
-// grid repeats. Disjoint index ranges per goroutine, so the fill is
-// race-free and the slices are immutable once Execute's workers start.
-func (j *Job) memoizeKeys() {
-	rep := j.g.spec.Replicate
-	if rep <= 1 {
-		return
-	}
-	j.baseN = j.g.total / uint64(rep)
-	j.keys = make([]runcache.Key, j.baseN)
-	j.keyOK = make([]bool, j.baseN)
-	var wg sync.WaitGroup
-	chunk := (j.baseN + uint64(j.opts.Jobs) - 1) / uint64(j.opts.Jobs)
-	for lo := uint64(0); lo < j.baseN; lo += chunk {
-		hi := lo + chunk
-		if hi > j.baseN {
-			hi = j.baseN
-		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				sc, proto, seed, _ := j.g.runAt(i)
-				j.keys[i], j.keyOK[i] = scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// keyAt returns run i's cache key, from the memo when the grid
-// repeats.
-func (j *Job) keyAt(i uint64) (runcache.Key, bool) {
-	if j.keys != nil {
-		b := i % j.baseN
-		return j.keys[b], j.keyOK[b]
-	}
-	sc, proto, seed, _ := j.g.runAt(i)
-	return scenario.CacheKey(sc, proto, scenario.Opts{Seed: seed})
-}
-
-// oneRun produces run i's result: disk hit, collapsed duplicate, or a
-// fresh simulation (persisted before returning). The scenario is only
-// constructed if the run actually simulates — on the replay path a run
-// is a key lookup, a disk read, and a decode.
-func (j *Job) oneRun(i uint64, blk *laneBlock) (scenario.Result, error) {
-	sim := func() scenario.Result {
-		if blk != nil {
-			if r, ok := blk.result(i); ok {
-				j.simulated.Add(1)
-				return r
-			}
-		}
-		sc, proto, seed, _ := j.g.runAt(i)
-		j.simulated.Add(1)
-		return scenario.Run(sc, proto, scenario.Opts{Seed: seed})
-	}
-	key, ok := j.keyAt(i)
+	s, token, ok := j.leases.acquire(worker)
 	if !ok {
-		// Library scenarios are always digestible; this is a belt for
-		// future scenario kinds, not a hot path.
-		return sim(), nil
+		return LeaseGrant{}, false, false
 	}
-	var runErr error
-	res := j.flight.Do(key, func() scenario.Result {
-		if j.opts.Disk != nil {
-			if b, hit, derr := j.opts.Disk.Get(key); derr != nil {
-				runErr = derr
-				return scenario.Result{}
-			} else if hit {
-				if r, cerr := decodeResult(b); cerr == nil {
-					j.diskHits.Add(1)
-					return r
-				}
-				// Version/layout mismatch: treat as a miss and
-				// re-simulate. Put below is a first-write-wins no-op,
-				// so the stale record stays until a cache rebuild.
-			}
-		}
-		r := sim()
-		if j.opts.Disk != nil {
-			if perr := j.opts.Disk.Put(key, encodeResult(r)); perr != nil {
-				runErr = perr
-			}
-		}
-		return r
-	})
-	return res, runErr
+	lo, hi := j.exec.shardRange(s)
+	ttl := j.opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return LeaseGrant{
+		Campaign: j.id,
+		Shard:    s,
+		Lo:       lo,
+		Hi:       hi,
+		Token:    token,
+		TTLMs:    ttl.Milliseconds(),
+	}, true, false
+}
+
+// RenewLease extends a worker's hold on a shard (the heartbeat). False
+// means the lease was lost — expired and reassigned, or completed by
+// someone else.
+func (j *Job) RenewLease(shard uint64, token string) bool {
+	if !j.running() || j.cancelled() {
+		return false
+	}
+	return j.leases.renew(shard, token)
+}
+
+// CompleteShard folds a remotely-computed shard aggregate into the
+// campaign. The first completion of a shard wins — regardless of lease
+// state, since the bytes are a pure function of the spec — and every
+// later one reports dup=true and is dropped. gone is true when the job
+// no longer accepts results.
+func (j *Job) CompleteShard(rep shardReport) (dup, gone bool) {
+	if !j.running() || j.cancelled() {
+		return false, true
+	}
+	if dup := j.leases.complete(rep.shard); dup {
+		return true, false
+	}
+	j.deliver(rep.shard, rep.agg)
+	lo, hi := j.exec.shardRange(rep.shard)
+	j.runsDone.Add(hi - lo)
+	j.remoteRuns.Add(hi - lo)
+	j.remoteSim.Add(rep.simulated)
+	j.remoteHits.Add(rep.diskHits)
+	return false, false
 }
 
 // deliver merges shard s's aggregate into the running total the moment
 // it becomes the next contiguous shard; earlier arrivals park in
 // pending. Merge order is therefore always 0,1,2,… regardless of
-// which worker finished when — the whole byte-identical-at-any-j
-// guarantee lives in this function. Pending holds at most ~Jobs
-// entries (a worker parks one shard then claims the next).
+// which worker finished when — the whole byte-identical-at-any-shape
+// guarantee lives in this function. Pending stays bounded by the
+// out-of-order window (locally ~Jobs entries; with remote workers, at
+// most the outstanding-lease spread), and holds fixed-size aggregates
+// only — never per-run results.
 func (j *Job) deliver(s uint64, a *agg) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -451,18 +664,21 @@ func (j *Job) Progress() Progress {
 	trees, forkRuns := scenario.ForkStats()
 	laneRuns, lanePeels := lockstep.Stats()
 	done := j.runsDone.Load()
-	sim := j.simulated.Load()
+	sim := j.exec.simulated.Load() + j.remoteSim.Load()
+	ls := j.leases.state()
 	p := Progress{
-		ID:        j.id,
-		Name:      j.g.spec.Name,
-		TotalRuns: j.g.total,
-		RunsDone:  done,
-		Simulated: sim,
-		DiskHits:  j.diskHits.Load(),
-		ForkTrees: trees,
-		ForkRuns:  forkRuns,
-		LaneRuns:  laneRuns,
-		LanePeels: lanePeels,
+		ID:         j.id,
+		Name:       j.g.spec.Name,
+		TotalRuns:  j.g.total,
+		RunsDone:   done,
+		Simulated:  sim,
+		DiskHits:   j.exec.diskHits.Load() + j.remoteHits.Load(),
+		RemoteRuns: j.remoteRuns.Load(),
+		ForkTrees:  trees,
+		ForkRuns:   forkRuns,
+		LaneRuns:   laneRuns,
+		LanePeels:  lanePeels,
+		Leases:     &ls,
 	}
 	if done > 0 {
 		p.HitRate = 1 - float64(sim)/float64(done)

@@ -1,12 +1,19 @@
 package campaign
 
 import (
+	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 
+	"repro/internal/lockstep"
 	"repro/internal/runcache"
+	"repro/internal/scenario"
 )
 
 // Server is the campaign control plane behind `emptcpsim serve`: an
@@ -16,14 +23,28 @@ import (
 // to the existing job (or, after a failure or cancellation, starts a
 // fresh one that resumes from the disk cache).
 //
-//	POST /campaigns            submit a Spec           → 202 Progress
-//	GET  /campaigns            list                    → 200 [Progress]
-//	GET  /campaigns/{id}       status + snapshot       → 200 Progress
-//	GET  /campaigns/{id}/result canonical aggregates   → 200 JSON / 409 Progress
-//	POST /campaigns/{id}/cancel                        → 202 Progress
-//	GET  /healthz                                      → 200 ok
+// The server is also the distributed coordinator: remote `emptcpsim
+// worker` processes lease shards of the running campaign, execute them
+// with their own full local stack, and stream the aggregates back. The
+// coordinator's own execution workers pull from the same lease table,
+// so a serve-mode process with no workers attached behaves exactly like
+// the single-process CLI.
+//
+//	POST /campaigns                   submit a Spec        → 202 Progress
+//	GET  /campaigns                   list                 → 200 [Progress]
+//	GET  /campaigns/{id}              status + snapshot    → 200 Progress
+//	GET  /campaigns/{id}/spec         normalised spec      → 200 Spec
+//	GET  /campaigns/{id}/result       canonical aggregates → 200 JSON / 409 Progress
+//	POST /campaigns/{id}/cancel                            → 202 Progress
+//	POST /campaigns/{id}/lease        lease one shard      → 200 LeaseGrant / 204 / 410
+//	POST /campaigns/{id}/shards/{s}   complete a shard     → 200 {status} / 410
+//	POST /campaigns/{id}/shards/{s}/renew heartbeat        → 200 {ttl_ms} / 410
+//	GET  /statz                       process + lease stats → 200 JSON
+//	GET  /debug/pprof/*               live profiling
+//	GET  /healthz                                          → 200 ok (never authed)
 type Server struct {
-	opts Options
+	opts  Options
+	token string // optional bearer token; empty = open
 
 	mu     sync.Mutex
 	byID   map[string]*Job
@@ -54,6 +75,11 @@ func NewServerOpts(opts Options) *Server {
 	go s.dispatch()
 	return s
 }
+
+// SetAuthToken requires `Authorization: Bearer <token>` on every route
+// except /healthz. Call before Handler; an empty token leaves the
+// server open (the default, for localhost use).
+func (s *Server) SetAuthToken(token string) { s.token = token }
 
 // dispatch runs queued jobs sequentially. Sequential execution keeps
 // the memory envelope at one campaign's worth and makes progress
@@ -91,12 +117,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/spec", s.handleSpec)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /campaigns/{id}/lease", s.handleLease)
+	mux.HandleFunc("POST /campaigns/{id}/shards/{shard}", s.handleShard)
+	mux.HandleFunc("POST /campaigns/{id}/shards/{shard}/renew", s.handleRenew)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	}
+	if s.token == "" {
+		mux.HandleFunc("GET /healthz", healthz)
+		return mux
+	}
+	// Auth wraps everything except /healthz, which stays open so load
+	// balancers and the smoke scripts can probe liveness tokenless.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", healthz)
+	outer.Handle("/", s.requireAuth(mux))
+	return outer
+}
+
+func (s *Server) requireAuth(next http.Handler) http.Handler {
+	want := []byte("Bearer " + s.token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := []byte(r.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("campaign: missing or bad bearer token"))
+			return
+		}
+		next.ServeHTTP(w, r)
 	})
-	return mux
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -114,7 +171,10 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // handleSubmit accepts a Spec and queues it. Idempotent by digest: a
 // queued/running/done job with the same digest is returned as-is; a
 // failed or cancelled one is replaced by a fresh job, which resumes
-// from whatever the previous attempt persisted.
+// from whatever the previous attempt persisted. A submission whose
+// 64-bit ID matches an existing campaign but whose normalised spec
+// differs is a digest collision — rejected with 422 rather than
+// silently coalescing two different campaigns into one result.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec Spec
 	dec := json.NewDecoder(r.Body)
@@ -136,6 +196,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if prev, ok := s.byID[job.ID()]; ok {
+		if !sameSpec(prev.Spec(), job.Spec()) {
+			s.mu.Unlock()
+			writeError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("campaign: spec digest collision: id %s already names a different campaign", job.ID()))
+			return
+		}
 		st := prev.Progress().Status
 		if st != StatusFailed && st != StatusCancelled {
 			s.mu.Unlock()
@@ -156,6 +222,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, job.Progress())
+}
+
+// sameSpec compares two normalised specs by canonical JSON — the same
+// bytes the digest is computed over, so "equal" here means "same
+// digest preimage", not merely "same truncated ID".
+func sameSpec(a, b Spec) bool {
+	ab, aerr := json.Marshal(a)
+	bb, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -191,9 +266,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSpec serves the campaign's normalised spec — what a worker
+// compiles to reproduce the coordinator's exact grid, shard bounds, and
+// cache keys.
+func (s *Server) handleSpec(w http.ResponseWriter, r *http.Request) {
+	if j := s.job(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.Spec())
+	}
+}
+
 // handleResult serves the stored canonical bytes verbatim — not a
 // re-marshal — so every GET of a done campaign returns identical
 // bytes, and those bytes diff clean against a `-j 1` reference run.
+// An unfinished campaign answers 409 with Retry-After so pollers can
+// back off instead of hammering.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j := s.job(w, r)
 	if j == nil {
@@ -204,6 +290,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Write(b)
 		return
 	}
+	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusConflict, j.Progress())
 }
 
@@ -212,4 +299,161 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.Cancel()
 		writeJSON(w, http.StatusAccepted, j.Progress())
 	}
+}
+
+// handleLease grants the requesting worker one shard of the campaign.
+// 200 carries a LeaseGrant; 204 means nothing is available right now
+// (every remaining shard is done or leased — poll again); 410 means the
+// campaign is not running and the worker should drop it.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		worker = "remote/" + r.RemoteAddr
+	}
+	g, ok, gone := j.Lease(worker)
+	switch {
+	case gone:
+		writeError(w, http.StatusGone, fmt.Errorf("campaign: %s is not running", j.ID()))
+	case !ok:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, g)
+	}
+}
+
+// maxShardBody bounds a shard-completion payload. The real size is
+// header + cells×cellAccSize + crc — a few hundred KB at the largest
+// plausible grid — so 64 MB is pure transport sanity, not a tuning
+// knob.
+const maxShardBody = 64 << 20
+
+// handleShard accepts one shard's aggregate bytes from a worker. The
+// payload is validated structurally (crc, magic, cell count), then
+// against the campaign (digest, shard index vs URL) before the
+// first-write-wins merge. Duplicates are acknowledged as such — the
+// worker did nothing wrong, someone else was just faster.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	shard, err := strconv.ParseUint(r.PathValue("shard"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: bad shard index %q", r.PathValue("shard")))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxShardBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: reading shard payload: %w", err))
+		return
+	}
+	if len(body) > maxShardBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("campaign: shard payload exceeds %d bytes", maxShardBody))
+		return
+	}
+	rep, err := decodeShardAgg(body, j.g.cells())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := j.Spec()
+	digest, err := spec.Digest()
+	if err != nil || rep.digest != digest {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: shard payload digest does not match campaign %s", j.ID()))
+		return
+	}
+	if rep.shard != shard {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: payload is for shard %d, URL names shard %d", rep.shard, shard))
+		return
+	}
+	if lo, hi := j.exec.shardRange(shard); shard >= j.exec.nShards() || rep.runs != hi-lo {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: shard %d claims %d runs", shard, rep.runs))
+		return
+	}
+	dup, gone := j.CompleteShard(rep)
+	switch {
+	case gone:
+		writeError(w, http.StatusGone, fmt.Errorf("campaign: %s is not running", j.ID()))
+	case dup:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "duplicate"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+	}
+}
+
+// handleRenew is the lease heartbeat. 410 tells the worker the lease is
+// lost — expired and reassigned, shard completed elsewhere, or campaign
+// finished — and the shard should be abandoned without posting.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	shard, err := strconv.ParseUint(r.PathValue("shard"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("campaign: bad shard index %q", r.PathValue("shard")))
+		return
+	}
+	token := r.Header.Get("X-Lease-Token")
+	if !j.RenewLease(shard, token) {
+		writeError(w, http.StatusGone, fmt.Errorf("campaign: lease on shard %d lost", shard))
+		return
+	}
+	ttl := j.opts.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"ttl_ms": ttl.Milliseconds()})
+}
+
+// Statz is the process-wide observability snapshot behind GET /statz.
+type Statz struct {
+	// Cache* mirror runcache.Store.DiskStats and Len: persistent-store
+	// lookups, lookup hits, appended records, and resident entries.
+	CacheGets    uint64 `json:"cache_gets"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CachePuts    uint64 `json:"cache_puts"`
+	CacheEntries int    `json:"cache_entries"`
+	// LaneRuns/LanePeels mirror lockstep.Stats; ForkTrees/ForkRuns
+	// mirror scenario.ForkStats. All process-wide counters.
+	LaneRuns  int64 `json:"lane_runs"`
+	LanePeels int64 `json:"lane_peels"`
+	ForkTrees int64 `json:"fork_trees"`
+	ForkRuns  int64 `json:"fork_runs"`
+	// Campaigns carries each campaign's execution counters and lease
+	// table snapshot (aggregates omitted — this is a stats endpoint).
+	Campaigns []Progress `json:"campaigns"`
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	gets, hits, puts := s.opts.Disk.DiskStats()
+	laneRuns, lanePeels := lockstep.Stats()
+	trees, forkRuns := scenario.ForkStats()
+	st := Statz{
+		CacheGets:    gets,
+		CacheHits:    hits,
+		CachePuts:    puts,
+		CacheEntries: s.opts.Disk.Len(),
+		LaneRuns:     laneRuns,
+		LanePeels:    lanePeels,
+		ForkTrees:    trees,
+		ForkRuns:     forkRuns,
+	}
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.byID[id])
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		p := j.Progress()
+		p.Aggregates = nil
+		st.Campaigns = append(st.Campaigns, p)
+	}
+	writeJSON(w, http.StatusOK, st)
 }

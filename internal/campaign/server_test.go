@@ -316,4 +316,3 @@ func TestServerClosedRejectsSubmit(t *testing.T) {
 		t.Fatalf("submit after close: %d, want 503", code)
 	}
 }
-

@@ -28,6 +28,17 @@ import (
 	"sync/atomic"
 )
 
+// storeShards stripes the index so concurrent Gets from many campaign
+// workers don't serialise on one lock (keys are sha256 digests, so the
+// low byte is uniform).
+const storeShards = 64
+
+// storeShard is one stripe of the key→location index.
+type storeShard struct {
+	mu    sync.RWMutex
+	index map[Key]diskLoc
+}
+
 var diskMagic = [4]byte{'e', 'M', 'P', 'c'}
 
 // maxSegmentSize is the rotation threshold for the active segment.
@@ -43,18 +54,61 @@ type diskLoc struct {
 	size uint32 // value length
 }
 
-// Store is the disk tier. It is safe for concurrent use; Get is a
-// single positioned read, Put serializes on the active segment.
+// Store is the disk tier. It is safe for concurrent use. Get touches no
+// store-wide lock: the index lookup takes one shard's read lock for a
+// map probe, the segment table is an atomically-published immutable
+// snapshot, and the value itself is a positioned read (pread) on the
+// segment file with no lock held at all — so parallel readers scale with
+// cores instead of convoying on a single mutex
+// (BenchmarkStoreGetParallel). Put serializes on the active segment.
 type Store struct {
 	dir string
 
-	mu     sync.RWMutex // guards index, segs, active
-	index  map[Key]diskLoc
-	segs   []*os.File // all segments, read handles; last is the active one
+	shards [storeShards]storeShard // key→location, striped by key[0]
+
+	// segs is a copy-on-write snapshot of all segment read handles; the
+	// last entry is the active segment. Readers Load it without locking;
+	// rotateLocked publishes a fresh copy under segMu.
+	segs atomic.Pointer[[]*os.File]
+
+	segMu  sync.Mutex // guards active, size, count, rotation, and Put append order
 	active *os.File   // append handle for the last segment
 	size   int64      // current size of the active segment
+	count  int        // distinct keys stored (mirrors the shard maps)
 
 	nGet, nGetHit, nPut atomic.Uint64
+}
+
+func (s *Store) shard(k Key) *storeShard { return &s.shards[k[0]%storeShards] }
+
+// lookup probes the striped index.
+func (s *Store) lookup(k Key) (diskLoc, bool) {
+	sh := s.shard(k)
+	sh.mu.RLock()
+	loc, ok := sh.index[k]
+	sh.mu.RUnlock()
+	return loc, ok
+}
+
+// nSegs reports the current segment count from the published snapshot.
+func (s *Store) nSegs() int {
+	if p := s.segs.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}
+
+// appendSeg publishes a new segment-table snapshot with f appended.
+// Callers hold segMu (or own the store exclusively, as OpenStore does).
+func (s *Store) appendSeg(f *os.File) {
+	var cur []*os.File
+	if p := s.segs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*os.File, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = f
+	s.segs.Store(&next)
 }
 
 // OpenStore opens (creating if needed) the disk cache rooted at dir and
@@ -70,29 +124,31 @@ func OpenStore(dir string) (*Store, error) {
 		return nil, err
 	}
 	sort.Strings(names)
-	s := &Store{dir: dir, index: make(map[Key]diskLoc)}
+	s := &Store{dir: dir}
+	for i := range s.shards {
+		s.shards[i].index = make(map[Key]diskLoc)
+	}
 	for _, name := range names {
 		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
 		if err != nil {
 			s.Close()
 			return nil, fmt.Errorf("runcache: open segment: %w", err)
 		}
-		end, err := s.recoverSegment(f, int32(len(s.segs)))
+		end, err := s.recoverSegment(f, int32(s.nSegs()))
 		if err != nil {
 			f.Close()
 			s.Close()
 			return nil, err
 		}
-		s.segs = append(s.segs, f)
+		s.appendSeg(f)
 		s.size = end
+		s.active = f
 	}
-	if len(s.segs) == 0 {
+	if s.nSegs() == 0 {
 		if err := s.rotateLocked(); err != nil {
 			s.Close()
 			return nil, err
 		}
-	} else {
-		s.active = s.segs[len(s.segs)-1]
 	}
 	return s, nil
 }
@@ -127,8 +183,10 @@ func (s *Store) recoverSegment(f *os.File, segIdx int32) (int64, error) {
 		}
 		var k Key
 		copy(k[:], hdr[4:36])
-		if _, dup := s.index[k]; !dup {
-			s.index[k] = diskLoc{seg: segIdx, off: off + recHeaderSize, size: n}
+		sh := s.shard(k)
+		if _, dup := sh.index[k]; !dup {
+			sh.index[k] = diskLoc{seg: segIdx, off: off + recHeaderSize, size: n}
+			s.count++
 		}
 		off += recHeaderSize + int64(n) + 4
 	}
@@ -141,37 +199,37 @@ func (s *Store) recoverSegment(f *os.File, segIdx int32) (int64, error) {
 	return off, nil
 }
 
-// rotateLocked starts a fresh active segment. Callers hold mu (or own
-// the store exclusively, as OpenStore does).
+// rotateLocked starts a fresh active segment. Callers hold segMu (or
+// own the store exclusively, as OpenStore does).
 func (s *Store) rotateLocked() error {
-	name := filepath.Join(s.dir, fmt.Sprintf("cache-%06d.seg", len(s.segs)+1))
+	name := filepath.Join(s.dir, fmt.Sprintf("cache-%06d.seg", s.nSegs()+1))
 	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("runcache: new segment: %w", err)
 	}
-	s.segs = append(s.segs, f)
+	s.appendSeg(f)
 	s.active = f
 	s.size = 0
 	return nil
 }
 
 // Get returns the stored value for k, or ok=false when absent. The
-// returned slice is freshly allocated and owned by the caller.
+// returned slice is freshly allocated and owned by the caller. The
+// index probe holds one shard's read lock for a map lookup only; the
+// value read is a pread on the segment file with no lock held, so
+// concurrent Gets proceed fully in parallel (records are immutable once
+// indexed, and the segment snapshot that indexed them is never
+// unpublished while the store is open).
 func (s *Store) Get(k Key) ([]byte, bool, error) {
 	if s == nil {
 		return nil, false, nil
 	}
 	s.nGet.Add(1)
-	s.mu.RLock()
-	loc, ok := s.index[k]
-	var f *os.File
-	if ok {
-		f = s.segs[loc.seg]
-	}
-	s.mu.RUnlock()
+	loc, ok := s.lookup(k)
 	if !ok {
 		return nil, false, nil
 	}
+	f := (*s.segs.Load())[loc.seg]
 	v := make([]byte, loc.size)
 	if _, err := f.ReadAt(v, loc.off); err != nil {
 		return nil, false, fmt.Errorf("runcache: reading value: %w", err)
@@ -185,9 +243,7 @@ func (s *Store) Has(k Key) bool {
 	if s == nil {
 		return false
 	}
-	s.mu.RLock()
-	_, ok := s.index[k]
-	s.mu.RUnlock()
+	_, ok := s.lookup(k)
 	return ok
 }
 
@@ -198,9 +254,9 @@ func (s *Store) Put(k Key, v []byte) error {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.index[k]; dup {
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	if _, dup := s.lookup(k); dup { // Puts serialize on segMu, so this check is atomic
 		return nil
 	}
 	if s.size >= maxSegmentSize {
@@ -220,7 +276,12 @@ func (s *Store) Put(k Key, v []byte) error {
 	if _, err := s.active.Write(rec); err != nil {
 		return fmt.Errorf("runcache: appending record: %w", err)
 	}
-	s.index[k] = diskLoc{seg: int32(len(s.segs) - 1), off: s.size + recHeaderSize, size: uint32(len(v))}
+	loc := diskLoc{seg: int32(s.nSegs() - 1), off: s.size + recHeaderSize, size: uint32(len(v))}
+	sh := s.shard(k)
+	sh.mu.Lock()
+	sh.index[k] = loc
+	sh.mu.Unlock()
+	s.count++
 	s.size += int64(len(rec))
 	s.nPut.Add(1)
 	return nil
@@ -231,9 +292,9 @@ func (s *Store) Len() int {
 	if s == nil {
 		return 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.index)
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	return s.count
 }
 
 // DiskStats reports lookups, lookup hits, and appended records since
@@ -251,8 +312,8 @@ func (s *Store) Sync() error {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
 	if s.active == nil {
 		return nil
 	}
@@ -265,20 +326,23 @@ func (s *Store) Close() error {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
 	var first error
 	if s.active != nil {
 		if err := s.active.Sync(); err != nil {
 			first = err
 		}
 	}
-	for _, f := range s.segs {
-		if err := f.Close(); err != nil && first == nil {
-			first = err
+	if p := s.segs.Load(); p != nil {
+		for _, f := range *p {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
-	s.segs, s.active = nil, nil
+	s.segs.Store(&[]*os.File{})
+	s.active = nil
 	return first
 }
 

@@ -66,11 +66,11 @@ func checkForkedEquivalence(t *testing.T, family uint8, seed int64, wifiMbps, lt
 // reuses the base result) and where it establishes almost immediately.
 func TestForkedSweepEquivalence(t *testing.T) {
 	cases := []struct {
-		family   uint8
-		wifi     float64
-		lte      float64
-		sizeKB   uint16
-		upload   bool
+		family uint8
+		wifi   float64
+		lte    float64
+		sizeKB uint16
+		upload bool
 	}{
 		{0, 4, 4.5, 256, false},    // the ext-sweep κ grid's scenario
 		{1, 0.5, 4.5, 8192, false}, // the ext-sweep τ grid's scenario

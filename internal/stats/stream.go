@@ -137,3 +137,19 @@ func (s *Stream) CI95() (lo, hi float64) {
 	m, sem := s.Mean(), s.SEM()
 	return m - 1.96*sem, m + 1.96*sem
 }
+
+// Moments exposes the raw accumulator state (count, mean, second
+// central moment, extrema) for bit-exact serialisation. Together with
+// StreamFromMoments it round-trips a Stream without losing a single
+// bit, which is what lets a remotely-computed shard aggregate merge
+// byte-identically to a locally-computed one.
+func (s *Stream) Moments() (n uint64, mean, m2, min, max float64) {
+	return s.N, s.mean, s.m2, s.min, s.max
+}
+
+// StreamFromMoments reconstructs a Stream from Moments output. The
+// arguments are trusted verbatim: StreamFromMoments(s.Moments()) == s
+// field for field, including NaN/Inf bit patterns.
+func StreamFromMoments(n uint64, mean, m2, min, max float64) Stream {
+	return Stream{N: n, mean: mean, m2: m2, min: min, max: max}
+}

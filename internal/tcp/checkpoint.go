@@ -167,4 +167,3 @@ func (a *Arena) Restore(s *ArenaSnapshot) {
 		a.chunks[i/arenaChunk][i%arenaChunk].Restore(&s.subs[i])
 	}
 }
-
