@@ -4,13 +4,16 @@
 //	go test -bench=. -benchmem ./... | benchjson > BENCH.json
 //
 // Each entry maps the benchmark name (GOMAXPROCS suffix stripped) to its
-// ns/op, B/op and allocs/op. Benchmarks that appear more than once (e.g.
-// from -count) keep the last measurement.
+// ns/op, B/op and allocs/op, plus any custom b.ReportMetric units (e.g.
+// packets/op, fluid_s) under "metrics". Benchmarks that appear more than
+// once (e.g. from -count) keep the last measurement.
 //
 // With -baseline FILE, benchjson instead compares stdin against a
 // previously recorded BENCH.json: it prints a per-benchmark delta table
 // (ns/op and allocs/op) and exits non-zero when any benchmark's ns/op
-// regressed by more than 20%. Benchmarks present on only one side are
+// regressed by more than 20%. Custom metrics are recorded, never gated —
+// they are model observables (completion times, packet counts), not
+// performance. Benchmarks present on only one side are
 // listed but never fail the comparison:
 //
 //	go test -bench=. -benchmem ./... | benchjson -baseline BENCH.json
@@ -34,6 +37,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values keyed by unit. JSON maps
+	// marshal with sorted keys, so regenerated files diff cleanly.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -106,13 +112,19 @@ func parse(r io.Reader) (map[string]Result, error) {
 			if err != nil {
 				continue
 			}
-			switch f[i+1] {
+			switch unit := f[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp, seen = v, true
 			case "B/op":
 				res.BytesPerOp = int64(v)
 			case "allocs/op":
 				res.AllocsPerOp = int64(v)
+			default:
+				// A custom b.ReportMetric unit.
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
 			}
 		}
 		if seen {

@@ -141,3 +141,69 @@ func TestCompareMissingBaselineFile(t *testing.T) {
 		t.Errorf("exit %d, want 1", code)
 	}
 }
+
+const metricSample = `goos: linux
+BenchmarkPacketKernel-8 	    9000	    124783 ns/op	      3135 packets/op	       0 B/op	       0 allocs/op
+BenchmarkAblation-8     	       1	1234567 ns/op	         2.408 fluid_s	         2.496 packet_s
+PASS
+`
+
+func TestParseCustomMetrics(t *testing.T) {
+	got, err := parse(strings.NewReader(metricSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := got["BenchmarkPacketKernel"]
+	if pk.NsPerOp != 124783 || pk.AllocsPerOp != 0 {
+		t.Errorf("PacketKernel = %+v", pk)
+	}
+	if pk.Metrics["packets/op"] != 3135 {
+		t.Errorf("PacketKernel metrics = %v, want packets/op 3135", pk.Metrics)
+	}
+	ab := got["BenchmarkAblation"]
+	if ab.Metrics["fluid_s"] != 2.408 || ab.Metrics["packet_s"] != 2.496 {
+		t.Errorf("Ablation metrics = %v", ab.Metrics)
+	}
+	// Standard units never leak into Metrics.
+	for _, unit := range []string{"ns/op", "B/op", "allocs/op"} {
+		if _, ok := pk.Metrics[unit]; ok {
+			t.Errorf("standard unit %s captured as custom metric", unit)
+		}
+	}
+}
+
+func TestMetricsRoundTripAndOmitted(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, strings.NewReader(metricSample), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var m map[string]Result
+	if err := json.Unmarshal([]byte(out.String()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if m["BenchmarkPacketKernel"].Metrics["packets/op"] != 3135 {
+		t.Errorf("metrics lost in round trip: %+v", m["BenchmarkPacketKernel"])
+	}
+	// Entries without custom metrics must omit the field entirely.
+	var plain, errp strings.Builder
+	run(nil, strings.NewReader(sample), &plain, &errp)
+	if strings.Contains(plain.String(), "metrics") {
+		t.Errorf("metrics key emitted for benchmarks without custom metrics:\n%s", plain.String())
+	}
+}
+
+func TestBaselineGateIgnoresMetricDrift(t *testing.T) {
+	// The baseline carries wildly different custom metrics; only ns/op
+	// may gate the comparison.
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH.json")
+	baseJSON := `{"BenchmarkPacketKernel": {"ns_per_op": 124783, "bytes_per_op": 0, "allocs_per_op": 0, "metrics": {"packets/op": 1}}}`
+	if err := os.WriteFile(base, []byte(baseJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	code := run([]string{"-baseline", base}, strings.NewReader(metricSample), &out, &errb)
+	if code != 0 {
+		t.Fatalf("metric drift failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}

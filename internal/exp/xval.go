@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/link"
+	"repro/internal/mptcp"
+	"repro/internal/ptcp"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/simrng"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "xval",
+		Title: "Cross-validation: fluid-round TCP/MPTCP vs the packet-level reference model",
+		Paper: "methodology check (no paper figure): the fluid approximation every table is built on agrees with packet-level SACK-Reno/MPTCP on completion time",
+		Run:   runXval,
+	})
+}
+
+// xvalCell is one cross-validation grid point: a transfer both models run
+// under matched parameters.
+type xvalCell struct {
+	rateMbps float64 // per-path bottleneck rate
+	rttMs    float64 // first path's propagation RTT
+	sizeMB   float64
+	queue    int // packet model's drop-tail queue, in packets
+	subflows int // 1 = plain TCP, 2 = MPTCP (second path at 2.5× the RTT)
+}
+
+// bdpPackets is the cell's bandwidth-delay product in MSS-sized packets.
+func (c xvalCell) bdpPackets() float64 {
+	return c.rateMbps * 1e6 * (c.rttMs / 1000) / (1460 * 8)
+}
+
+// band returns the tolerance interval for the fluid/packet completion-time
+// ratio of one cell. The fluid-round model (DESIGN.md §4.1) has no queue:
+// it neither pays queueing delay nor loses segments to overflow, so on
+// short transfers — where slow-start overshoot dominates and the packet
+// model may eat drops the fluid model never sees — the agreement is
+// looser than in steady state, and in severely under-buffered cells
+// (queue below a quarter of the bandwidth-delay product) the fluid model
+// is known-optimistic: the packet sender lives in permanent loss
+// recovery the fluid abstraction cannot see, so the lower bound widens.
+// Multipath adds scheduler and handshake differences on top. The bounds
+// are deliberately wide enough to be stable across grid tweaks yet tight
+// enough that a broken window or scheduler cannot hide; the measured
+// grid sits inside them (see xval_test.go).
+func (c xvalCell) band() (lo, hi float64) {
+	lo, hi = 0.60, 1.50
+	if c.subflows > 1 {
+		lo, hi = 0.45, 1.75
+	}
+	if float64(c.queue) < c.bdpPackets()/4 {
+		lo = 0.35
+	}
+	return lo, hi
+}
+
+// xvalGrid returns the sweep. Quick mode keeps one representative cell
+// per regime so emptcpsim -quick and the CI tolerance job stay cheap.
+func xvalGrid(quick bool) []xvalCell {
+	if quick {
+		return []xvalCell{
+			{rateMbps: 10, rttMs: 20, sizeMB: 1, queue: 64, subflows: 1},
+			{rateMbps: 40, rttMs: 100, sizeMB: 4, queue: 32, subflows: 1},
+			{rateMbps: 10, rttMs: 20, sizeMB: 1, queue: 64, subflows: 2},
+			{rateMbps: 10, rttMs: 100, sizeMB: 4, queue: 128, subflows: 2},
+		}
+	}
+	var cells []xvalCell
+	for _, rate := range []float64{4, 10, 40} {
+		for _, rtt := range []float64{20, 100} {
+			for _, size := range []float64{1, 8} {
+				for _, queue := range []int{32, 128} {
+					for _, subs := range []int{1, 2} {
+						cells = append(cells, xvalCell{
+							rateMbps: rate, rttMs: rtt, sizeMB: size,
+							queue: queue, subflows: subs,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// xvalPacket runs the cell on the packet-level model.
+func xvalPacket(c xvalCell) float64 {
+	eng := sim.New()
+	eng.Horizon = 900
+	size := units.ByteSize(c.sizeMB * float64(units.MB))
+	l := ptcp.Link{
+		Rate:         units.MbpsRate(c.rateMbps),
+		OneWayDelay:  c.rttMs / 1000 / 2,
+		QueuePackets: c.queue,
+	}
+	if c.subflows == 1 {
+		res := ptcp.Run(eng, ptcp.DefaultConfig(), l, size)
+		if !res.Completed {
+			return -1
+		}
+		return res.FinishedAt
+	}
+	l2 := l
+	l2.OneWayDelay *= 2.5
+	res := ptcp.RunMPTCP(eng, ptcp.DefaultMPConfig(), []ptcp.Link{l, l2}, size)
+	if !res.Completed {
+		return -1
+	}
+	return res.FinishedAt
+}
+
+// xvalFluid runs the cell on the fluid-round model, through the same
+// mptcp.Connection the experiment tables use (a single subflow is plain
+// fluid TCP). RTT jitter is seeded per cell, so the table is
+// deterministic.
+func xvalFluid(c xvalCell, seed int64) float64 {
+	eng := sim.New()
+	eng.Horizon = 900
+	src := simrng.New(seed + 1)
+	conn := mptcp.New(eng, src, mptcp.DefaultOptions())
+	p := &tcp.Path{
+		Name:     "xval0",
+		Capacity: link.NewConstant(units.MbpsRate(c.rateMbps)),
+		BaseRTT:  c.rttMs / 1000,
+	}
+	conn.AddSubflow("xval0", energy.WiFi, p, nil, 0)
+	if c.subflows > 1 {
+		p2 := &tcp.Path{
+			Name:     "xval1",
+			Capacity: link.NewConstant(units.MbpsRate(c.rateMbps)),
+			BaseRTT:  c.rttMs / 1000 * 2.5,
+		}
+		conn.AddSubflow("xval1", energy.LTE, p2, nil, 0)
+	}
+	done := -1.0
+	conn.Download(units.ByteSize(c.sizeMB*float64(units.MB)), func(at float64) {
+		done = at
+		eng.Stop()
+	})
+	eng.Run()
+	return done
+}
+
+func runXval(cfg Config) *Output {
+	out := newOutput()
+	t := report.NewTable("Cross-validation — fluid-round vs packet-level completion time",
+		"Rate (Mbps)", "RTT (ms)", "Size (MB)", "Queue (pkts)", "Subflows",
+		"Fluid (s)", "Packet (s)", "Ratio", "Band", "Within")
+	cells := xvalGrid(cfg.Quick)
+	type cellRes struct{ fluid, packet float64 }
+	rs := repeatRuns(cfg, len(cells), func(j int, _ scenario.Opts) cellRes {
+		return cellRes{
+			fluid:  xvalFluid(cells[j], cfg.BaseSeed+int64(j)),
+			packet: xvalPacket(cells[j]),
+		}
+	})
+	within := 0
+	minR, maxR := 0.0, 0.0
+	for j, c := range cells {
+		r := rs[j]
+		ratio := 0.0
+		if r.fluid > 0 && r.packet > 0 {
+			ratio = r.fluid / r.packet
+		}
+		lo, hi := c.band()
+		ok := ratio >= lo && ratio <= hi
+		if ok {
+			within++
+		}
+		if j == 0 || ratio < minR {
+			minR = ratio
+		}
+		if j == 0 || ratio > maxR {
+			maxR = ratio
+		}
+		t.Addf(c.rateMbps, c.rttMs, c.sizeMB, c.queue, c.subflows,
+			fmt.Sprintf("%.3f", r.fluid), fmt.Sprintf("%.3f", r.packet),
+			fmt.Sprintf("%.3f", ratio), fmt.Sprintf("[%.2f, %.2f]", lo, hi),
+			map[bool]string{true: "yes", false: "NO"}[ok])
+	}
+	out.Tables = append(out.Tables, t)
+	out.Metrics["xval_cells"] = float64(len(cells))
+	out.Metrics["xval_within_band_fraction"] = float64(within) / float64(len(cells))
+	out.Metrics["xval_ratio_min"] = minR
+	out.Metrics["xval_ratio_max"] = maxR
+	return out
+}

@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestXvalWithinBands is the cross-validation tier's acceptance gate: on
+// both the quick and the full grid, every fluid-vs-packet completion-time
+// ratio must sit inside its declared tolerance band.
+func TestXvalWithinBands(t *testing.T) {
+	e := ByID("xval")
+	if e == nil {
+		t.Fatal("xval experiment not registered")
+	}
+	for _, quick := range []bool{true, false} {
+		out := e.Run(Config{Quick: quick})
+		if frac := out.Metrics["xval_within_band_fraction"]; frac != 1.0 {
+			t.Errorf("quick=%v: within-band fraction %.3f, want 1.0\n%s", quick, frac, out)
+		}
+		if out.Metrics["xval_cells"] <= 0 {
+			t.Errorf("quick=%v: empty grid", quick)
+		}
+		// A degenerate ratio of 0 means a model failed to complete a cell
+		// inside the horizon; the bands would catch it, but name it.
+		if out.Metrics["xval_ratio_min"] <= 0 {
+			t.Errorf("quick=%v: a cell did not complete\n%s", quick, out)
+		}
+	}
+}
+
+// TestXvalDeterministic: the table must be byte-identical across runs and
+// worker counts — the packet model is deterministic and the fluid RTT
+// jitter is seeded per cell.
+func TestXvalDeterministic(t *testing.T) {
+	e := ByID("xval")
+	first := e.Run(Config{Quick: true, Jobs: 1}).String()
+	again := e.Run(Config{Quick: true}).String()
+	if first != again {
+		t.Fatalf("xval output changed across runs/worker counts:\n--- jobs=1\n%s\n--- default\n%s", first, again)
+	}
+	if !strings.Contains(first, "Subflows") {
+		t.Fatalf("unexpected table shape:\n%s", first)
+	}
+}
+
+// TestXvalRegisteredLast pins the registry position: xval.go sorts after
+// every other experiment file, so `emptcpsim all` keeps the pre-existing
+// experiments' bytes as an exact prefix and downstream golden files stay
+// stable as this family evolves.
+func TestXvalRegisteredLast(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 || ids[len(ids)-1] != "xval" {
+		t.Fatalf("xval must register last, got order %v", ids)
+	}
+}

@@ -22,3 +22,25 @@ func BenchmarkPacketLevel(b *testing.B) {
 	}
 	b.ReportMetric(float64(pkts), "packets/op")
 }
+
+// BenchmarkPacketKernel is the allocation guard the CI enforces at 0
+// allocs/op: with a Reset engine and the pooled flow state, a full
+// packet-level transfer must not touch the heap.
+func BenchmarkPacketKernel(b *testing.B) {
+	eng := sim.New()
+	link := Link{Rate: units.MbpsRate(10), OneWayDelay: 0.025, QueuePackets: 64}
+	cfg := DefaultConfig()
+	// Warm the pools and grow every arena to steady-state size.
+	eng.Horizon = 120
+	Run(eng, cfg, link, 4*units.MB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pkts int
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		eng.Horizon = 120
+		res := Run(eng, cfg, link, 4*units.MB)
+		pkts = res.Packets
+	}
+	b.ReportMetric(float64(pkts), "packets/op")
+}

@@ -1,0 +1,85 @@
+package ptcp
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestScalarGridGolden pins the optimized kernel to the pre-rewrite scalar
+// model's Results, bit for bit (FinishedAt compared by float64 bits), on a
+// fixed rate × RTT × size × queue grid. The golden file was generated from
+// the map-and-closure prototype this kernel replaced, restricted to its
+// timeout-free cells (131 of 135): with zero timeouts the two satellite
+// behaviour fixes that ride along with the rewrite — per-segment go-back-N
+// retransmit accounting and the RFC 6298 RTO estimator — are provably
+// Result-invariant, so these cells must reproduce exactly.
+//
+// Format, one cell per line:
+//
+//	rateMbps rtt sizeBytes queue completed finishedAtBits(%016x) delivered
+//	retransmits fastrecoveries timeouts packets
+func TestScalarGridGolden(t *testing.T) {
+	f, err := os.Open("testdata/scalar_grid.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	eng := sim.New()
+	cells := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		var (
+			rate, rtt         float64
+			size              int64
+			queue             int
+			completed         bool
+			finBits           string
+			delivered         int64
+			rtxN, frN, toN, p int
+		)
+		if _, err := fmt.Sscanf(line, "%g %g %d %d %t %s %d %d %d %d %d",
+			&rate, &rtt, &size, &queue, &completed, &finBits,
+			&delivered, &rtxN, &frN, &toN, &p); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		wantFin, err := strconv.ParseUint(finBits, 16, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+
+		eng.Reset()
+		eng.Horizon = 3600
+		link := Link{Rate: units.MbpsRate(rate), OneWayDelay: rtt / 2, QueuePackets: queue}
+		res := Run(eng, DefaultConfig(), link, units.ByteSize(size))
+
+		want := Result{
+			Completed:      completed,
+			FinishedAt:     math.Float64frombits(wantFin),
+			Delivered:      units.ByteSize(delivered),
+			Retransmits:    rtxN,
+			FastRecoveries: frN,
+			Timeouts:       toN,
+			Packets:        p,
+		}
+		if res != want {
+			t.Errorf("cell rate=%g rtt=%g size=%d queue=%d:\n got %+v\nwant %+v",
+				rate, rtt, size, queue, res, want)
+		}
+		cells++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cells != 131 {
+		t.Fatalf("golden has %d cells, want 131", cells)
+	}
+}

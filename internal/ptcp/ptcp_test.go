@@ -180,3 +180,22 @@ func (s *fluidSink) Delivered(sf *tcp.Subflow, n units.ByteSize) {
 
 func (s *fluidSink) Returned(sf *tcp.Subflow, n units.ByteSize) { s.remaining += n }
 func (s *fluidSink) IncreasePerRTT(*tcp.Subflow) float64        { return 1 }
+
+// TestPacketKernelSteadyStateAllocs locks in the §4.15 claim directly:
+// after one warm-up run, repeated single-flow transfers on a Reset engine
+// allocate nothing.
+func TestPacketKernelSteadyStateAllocs(t *testing.T) {
+	eng := sim.New()
+	link := Link{Rate: units.MbpsRate(10), OneWayDelay: 0.025, QueuePackets: 64}
+	run := func() {
+		eng.Reset()
+		eng.Horizon = 120
+		if res := Run(eng, DefaultConfig(), link, 2*units.MB); !res.Completed {
+			t.Fatal("transfer did not complete")
+		}
+	}
+	run() // warm the pool and grow every arena
+	if allocs := testing.AllocsPerRun(10, run); allocs > 0 {
+		t.Errorf("steady-state Run allocates %.0f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,62 @@
+package ptcp
+
+// bitring is a sliding-window bitset over monotonically increasing segment
+// sequence numbers. Capacity is a power of two; sequence seq lives at bit
+// seq & mask, so the structure never reindexes as the window slides — the
+// kernel only has to keep every live bit inside a capBits-wide span
+// [highestAck, maxSent) and clear slots as the cumulative point advances
+// past them (a slot is reused by seq+capBits once seq is behind the
+// window). This replaces the map[int]bool trio of the scalar prototype
+// with three flat arrays and zero steady-state allocation.
+type bitring struct {
+	words []uint64
+	mask  int // capBits-1; capBits = len(words)*64, a power of two
+}
+
+// init makes the ring all-clear with capacity bits (a power of two ≥ 64),
+// reusing the previous allocation when it is big enough.
+func (b *bitring) init(bits int) {
+	words := bits >> 6
+	if cap(b.words) >= words {
+		b.words = b.words[:words]
+		clear(b.words)
+	} else {
+		b.words = make([]uint64, words)
+	}
+	b.mask = bits - 1
+}
+
+// capBits returns the window span the ring can hold.
+func (b *bitring) capBits() int { return b.mask + 1 }
+
+// get reports whether seq's bit is set.
+func (b *bitring) get(seq int) bool {
+	i := seq & b.mask
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// set sets seq's bit.
+func (b *bitring) set(seq int) {
+	i := seq & b.mask
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// clear clears seq's bit.
+func (b *bitring) clear(seq int) {
+	i := seq & b.mask
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// grow resizes the ring to newBits (a larger power of two), re-placing the
+// bits of the live span [lo, hi) under the new mask. Bits outside the span
+// are dead by the kernel's window invariant and are dropped.
+func (b *bitring) grow(newBits, lo, hi int) {
+	old := bitring{words: b.words, mask: b.mask}
+	b.words = make([]uint64, newBits>>6)
+	b.mask = newBits - 1
+	for seq := lo; seq < hi; seq++ {
+		if old.get(seq) {
+			b.set(seq)
+		}
+	}
+}

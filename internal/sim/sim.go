@@ -332,6 +332,32 @@ func (e *Engine) DeferAfter(delay float64) Deferred {
 	return d
 }
 
+// DeferAt is DeferAfter at an absolute fire time: it reserves the next
+// sequence number for a callback at time at and emits the same schedule
+// trace event a real Schedule would, but touches no heap or node state.
+// Time semantics match Schedule (scheduling into the past panics); a +Inf
+// time reserves nothing and the slot can never fire. The packet-level
+// engine's ACK-train coalescer uses it: consecutive ACK arrival times are
+// iterated in exact float arithmetic, so the reservation must carry those
+// exact bits rather than a now+delay round trip.
+func (e *Engine) DeferAt(at Time) Deferred {
+	if math.IsNaN(at) {
+		panic("sim: deferring at NaN time")
+	}
+	if math.IsInf(at, 1) {
+		return Deferred{at: math.Inf(1)}
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: deferring into the past: at=%v now=%v", at, e.now))
+	}
+	d := Deferred{at: at, seq: e.seq}
+	e.seq++
+	if e.rec != nil {
+		e.rec.Record(trace.Event{T: e.now, Kind: trace.KindSchedule, A: at})
+	}
+	return d
+}
+
 // CanFireInline reports whether the deferred slot is exactly the event
 // the engine would dispatch next: strictly ahead of every pending live
 // event under the (time, seq) order, not cut off by the horizon, and the
